@@ -1,0 +1,57 @@
+"""Ablation — the allocator's conservative estimation margin.
+
+The paper subtracts 2*T_c per round ("a conservative estimation") before
+multiplying by the round count.  This sweep varies that margin: with no
+margin the estimate overshoots (longer white spaces, fewer iterations, more
+idle tail); with a large margin learning is slower but the converged grant
+is tighter.
+"""
+
+import numpy as np
+
+from repro.core import BicordConfig
+from repro.experiments import CoexistenceConfig, format_table, run_coexistence
+
+from .conftest import scaled
+
+
+def test_ablation_allocator(benchmark, emit):
+    def run():
+        results = {}
+        for margin in (0.0, 1.0, 2.0, 3.0):
+            config = BicordConfig()
+            config.allocator.estimation_margin_control_packets = margin
+            runs = [
+                run_coexistence(CoexistenceConfig(
+                    scheme="bicord", burst_packets=10,
+                    n_bursts=scaled(20, minimum=10),
+                    bicord_config=config, seed=seed, poisson=False,
+                ))
+                for seed in range(scaled(2, minimum=2))
+            ]
+            results[margin] = runs
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for margin, runs in results.items():
+        rows.append([
+            f"{margin:.0f}*Tc",
+            float(np.mean([r.channel_utilization for r in runs])),
+            float(np.mean([r.mean_delay for r in runs])) * 1e3,
+            float(np.mean([r.whitespace_airtime for r in runs])),
+            float(np.mean([r.delivery_ratio for r in runs])),
+        ])
+    emit(
+        "ablation_allocator",
+        format_table(
+            ["margin", "utilization", "mean_delay_ms", "ws_airtime_s", "delivery"],
+            rows, title="Ablation: estimation margin (10-packet bursts)",
+            float_format="{:.3f}",
+        ),
+    )
+    # Every variant still delivers the traffic — the margin trades
+    # utilization/delay, not correctness.
+    for runs in results.values():
+        for r in runs:
+            assert r.delivery_ratio > 0.9

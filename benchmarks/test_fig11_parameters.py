@@ -1,0 +1,78 @@
+"""Fig. 11 — impact of BiCord's parameters.
+
+(a) ZigBee's channel share grows with packet length, total utilization
+    roughly flat; (b) same for packets per burst; (c) utilization by sender
+    location, ZigBee share strongest where signaling works best; (d) mean
+    per-packet delay grows with burst size and stays under ~80 ms.
+"""
+
+from repro.experiments import CoexistenceConfig, format_table, run_coexistence
+
+from .conftest import scaled
+
+PAYLOADS = (20, 50, 80, 100)
+BURSTS = (1, 5, 10, 15)
+LOCATIONS = ("A", "B", "C", "D")
+
+
+def test_fig11_parameters(benchmark, emit):
+    def run():
+        results = {"payload": {}, "burst": {}, "location": {}}
+        n_bursts = scaled(25, minimum=10)
+        for payload in PAYLOADS:
+            results["payload"][payload] = run_coexistence(
+                CoexistenceConfig(payload_bytes=payload, n_bursts=n_bursts, seed=5)
+            )
+        for n_packets in BURSTS:
+            results["burst"][n_packets] = run_coexistence(
+                CoexistenceConfig(burst_packets=n_packets, n_bursts=n_bursts, seed=5)
+            )
+        for location in LOCATIONS:
+            results["location"][location] = run_coexistence(
+                CoexistenceConfig(location=location, n_bursts=n_bursts, seed=5)
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def rows_for(sweep, keys, key_label):
+        rows = []
+        for key in keys:
+            r = results[sweep][key]
+            rows.append([
+                f"{key}", r.channel_utilization, r.zigbee_utilization,
+                r.wifi_utilization, r.mean_delay * 1e3, r.delivery_ratio,
+            ])
+        headers = [key_label, "util", "zigbee_util", "wifi_util",
+                   "mean_delay_ms", "delivery"]
+        return format_table(headers, rows, float_format="{:.3f}")
+
+    emit(
+        "fig11_parameters",
+        "\n\n".join([
+            "Fig. 11a: vs ZigBee packet length (bytes)\n"
+            + rows_for("payload", PAYLOADS, "payload_B"),
+            "Fig. 11b: vs packets per burst\n"
+            + rows_for("burst", BURSTS, "n_packets"),
+            "Fig. 11c/d: vs sender location\n"
+            + rows_for("location", LOCATIONS, "location"),
+        ]),
+    )
+
+    # (a/b) ZigBee's share grows with offered ZigBee load.
+    assert (results["payload"][100].zigbee_utilization
+            > results["payload"][20].zigbee_utilization)
+    assert (results["burst"][15].zigbee_utilization
+            > results["burst"][1].zigbee_utilization)
+    # (b/d) delay grows with burst size and stays bounded (paper: < 80 ms).
+    assert (results["burst"][15].mean_delay > results["burst"][1].mean_delay)
+    assert results["burst"][5].mean_delay < 0.08
+    # (c) location A (best signaling) delivers everything.
+    assert results["location"]["A"].delivery_ratio > 0.95
+    # Total utilization stays in a band across the sweeps.  (Paper: ~80%
+    # throughout; ours dips for the largest bursts because ZigBee's
+    # application pacing gaps idle inside long white spaces — see
+    # EXPERIMENTS.md for the accounting.)
+    for sweep in ("payload", "burst"):
+        for r in results[sweep].values():
+            assert 0.4 < r.channel_utilization <= 1.0

@@ -1,0 +1,43 @@
+"""Fig. 8 — iterations needed to adjust the white space.
+
+Paper: the average number of learning iterations stays below 8; it grows
+with more packets per burst and with a shorter step; location A can be
+slightly worse because ZigBee *data* packets near F are themselves read as
+channel requests, biasing the estimate low.
+"""
+
+import numpy as np
+
+from repro.experiments import format_table
+
+
+def test_fig8_iterations(benchmark, learning_grid, emit):
+    grid = benchmark.pedantic(learning_grid, rounds=1, iterations=1)
+    headers = ["burst", "step", "location", "mean iterations", "converged"]
+    rows = []
+    for n_packets in (5, 10, 15):
+        for step in (30e-3, 40e-3):
+            for location in ("A", "B"):
+                trials = grid[(n_packets, step, location)]
+                iterations = float(np.mean([t.iterations for t in trials]))
+                converged = sum(t.converged for t in trials) / len(trials)
+                rows.append(
+                    [f"{n_packets} pkts", f"{step * 1e3:.0f} ms", location,
+                     iterations, converged]
+                )
+    emit(
+        "fig8_iterations",
+        format_table(headers, rows, title="Fig. 8: learning iterations",
+                     float_format="{:.2f}"),
+    )
+    # Paper: always below 8 on average.
+    all_iters = [
+        np.mean([t.iterations for t in trials]) for trials in grid.values()
+    ]
+    assert max(all_iters) < 8
+
+    def mean_iters(n, step, loc):
+        return np.mean([t.iterations for t in grid[(n, step, loc)]])
+
+    # More packets per burst => at least as many iterations (30 ms step, B).
+    assert mean_iters(15, 30e-3, "B") >= mean_iters(5, 30e-3, "B") - 0.5

@@ -1,0 +1,92 @@
+"""Simulator performance: how much channel time a wall-clock second buys.
+
+Unlike the reproduction benches (one expensive round each), these are
+classic micro/meso benchmarks with multiple rounds: event-queue throughput,
+medium transmit cost, and the simulated-seconds-per-wall-second of the full
+paper scenario.  They guard against performance regressions that would make
+the figure sweeps impractical.
+"""
+
+from repro.context import build_context
+from repro.devices import WifiDevice, ZigbeeDevice
+from repro.phy.medium import Technology
+from repro.phy.propagation import FadingModel, PathLossModel, Position
+from repro.sim.engine import Simulator
+from repro.traffic import WifiPacketSource
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule + fire 10k no-op events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i * 1e-6, _noop)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 10_000
+
+
+def _noop():
+    pass
+
+
+def test_medium_transmit_cost(benchmark):
+    """1000 transmissions across a 6-radio medium (the office population)."""
+
+    def setup():
+        ctx = build_context(
+            seed=1,
+            path_loss=PathLossModel(),
+            fading=FadingModel(shadowing_sigma_db=0.0, fading_sigma_db=0.0),
+            trace_kinds=set(),
+        )
+        radios = []
+        for i in range(6):
+            device = ZigbeeDevice(ctx, f"Z{i}", Position(float(i), 0.0))
+            device.radio.enabled = False  # pure energy accounting, no locking
+            radios.append(device.radio)
+        return ctx, radios
+
+    def run():
+        ctx, radios = setup()
+        source = radios[0]
+        for i in range(1000):
+            ctx.medium.transmit(source, 1e-5, 0.0, source.band, Technology.ZIGBEE)
+            ctx.sim.run(until=(i + 1) * 2e-5)
+        return ctx.sim.events_processed
+
+    benchmark(run)
+
+
+def test_scenario_realtime_factor(benchmark, emit):
+    """Simulated seconds of the saturated-Wi-Fi office per wall second."""
+    SIM_SECONDS = 2.0
+
+    def run():
+        ctx = build_context(
+            seed=1,
+            path_loss=PathLossModel(),
+            fading=FadingModel(),
+            trace_kinds=set(),
+        )
+        sender = WifiDevice(ctx, "E", Position(0, 0), data_rate_mbps=1.0)
+        WifiDevice(ctx, "F", Position(3, 0), data_rate_mbps=1.0, with_csi=True)
+        ZigbeeDevice(ctx, "ZS", Position(2.6, 0.9))
+        ZigbeeDevice(ctx, "ZR", Position(3.8, 1.3))
+        WifiPacketSource(ctx, sender.mac, "F", payload_bytes=100, interval=1e-3)
+        ctx.sim.run(until=SIM_SECONDS)
+        return ctx.sim.events_processed
+
+    events = benchmark(run)
+    stats = benchmark.stats.stats
+    factor = SIM_SECONDS / stats.mean
+    emit(
+        "kernel_performance",
+        f"scenario realtime factor: {factor:.1f}x "
+        f"({events / SIM_SECONDS:.0f} events per simulated second, "
+        f"{events / stats.mean:.0f} events/s wall)",
+    )
+    assert factor > 1.0  # the simulator must outrun the channel it models

@@ -1,0 +1,73 @@
+"""Substrate validation — simulated 802.11 DCF vs Bianchi's model.
+
+Not a paper figure: this bench certifies the MAC layer all coexistence
+results stand on.  Saturation throughput and collision probability of the
+simulated DCF must track the analytical model across contention levels.
+"""
+
+import math
+
+from repro.analysis import saturation_throughput
+from repro.context import build_context
+from repro.devices import WifiDevice
+from repro.experiments import format_table
+from repro.phy.propagation import FadingModel, PathLossModel, Position
+from repro.traffic import WifiPacketSource
+
+from .conftest import scaled
+
+
+def _simulate(n, payload=1000, rate=24.0, duration=1.0, seed=1):
+    ctx = build_context(
+        seed=seed,
+        path_loss=PathLossModel(),
+        fading=FadingModel(shadowing_sigma_db=0.0, fading_sigma_db=0.0),
+        trace_kinds=set(),
+    )
+    WifiDevice(ctx, "AP", Position(0, 0), data_rate_mbps=rate)
+    senders = []
+    for i in range(n):
+        angle = 2 * math.pi * i / max(n, 1)
+        device = WifiDevice(
+            ctx, f"S{i}",
+            Position(0.5 * math.cos(angle), 0.5 * math.sin(angle)),
+            data_rate_mbps=rate,
+        )
+        WifiPacketSource(ctx, device.mac, "AP", payload_bytes=payload,
+                         interval=1e-4, queue_limit=10**6, name=f"src{i}")
+        senders.append(device)
+    ctx.sim.run(until=duration)
+    bits = 8 * payload * sum(s.mac.data_delivered for s in senders)
+    sent = sum(s.mac.data_sent for s in senders)
+    missed = sum(s.mac.acks_missed for s in senders)
+    return bits / duration, missed / max(sent, 1)
+
+
+def test_substrate_bianchi(benchmark, emit):
+    def run():
+        duration = 0.5 * scaled(2, minimum=1)
+        results = {}
+        for n in (1, 2, 5, 10):
+            model = saturation_throughput(n, payload_bytes=1000, rate_mbps=24.0)
+            sim_thr, sim_coll = _simulate(n, duration=duration)
+            results[n] = (model, sim_thr, sim_coll)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for n, (model, sim_thr, sim_coll) in results.items():
+        rows.append([
+            n, model.throughput_bps / 1e6, sim_thr / 1e6,
+            sim_thr / model.throughput_bps, model.p_collision, sim_coll,
+        ])
+    emit(
+        "substrate_bianchi",
+        format_table(
+            ["stations", "model Mbps", "sim Mbps", "ratio", "model p", "sim p"],
+            rows, title="Substrate validation: DCF vs Bianchi (1000 B @ 24 Mbps)",
+            float_format="{:.3f}",
+        ),
+    )
+    for n, (model, sim_thr, sim_coll) in results.items():
+        assert abs(sim_thr / model.throughput_bps - 1.0) < 0.12
+        assert abs(sim_coll - model.p_collision) < 0.07

@@ -1,0 +1,36 @@
+"""Table I — precision of cross-technology signaling.
+
+Paper: precision grows with the number of control packets everywhere;
+location A is best; C peaks at -1 dBm; D needs -3 dBm.  (Our simulated
+noise floor is cleaner than the paper's office, so absolute precision runs
+higher; the trends are the comparison target.)
+"""
+
+from repro.experiments import format_table
+
+
+def test_table1_precision(benchmark, signaling_grid, emit):
+    grid = benchmark.pedantic(signaling_grid, rounds=1, iterations=1)
+    headers = ["Location"] + [
+        f"{power:+.0f}dBm/{n}pkt" for power in (0, -1, -3) for n in (3, 4, 5)
+    ]
+    rows = []
+    for location in "ABCD":
+        row = [location]
+        for power in (0.0, -1.0, -3.0):
+            for n_packets in (3, 4, 5):
+                precision, _recall = grid[(location, power, n_packets)]
+                row.append(precision)
+        rows.append(row)
+    emit(
+        "table1_precision",
+        format_table(headers, rows,
+                     title="Table I: precision of cross-technology signaling"),
+    )
+    # Shape assertions: more control packets never hurt much, A is strong.
+    for location in "ABCD":
+        for power in (0.0, -1.0, -3.0):
+            p3 = grid[(location, power, 3)][0]
+            p5 = grid[(location, power, 5)][0]
+            assert p5 >= p3 - 0.1
+    assert grid[("A", 0.0, 4)][0] > 0.9

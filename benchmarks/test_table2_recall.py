@@ -1,0 +1,57 @@
+"""Table II — recall of cross-technology signaling.
+
+Paper trends reproduced: recall increases with the number of control
+packets; at A/B it decreases when the power drops; at C the best power is
+-1 dBm (0 dBm trips the Wi-Fi sender's CCA); at D, closest to the Wi-Fi
+sender, -3 dBm performs best.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.paper_data import (
+    PAPER_TABLE2_RECALL,
+    packet_count_trend_agreement,
+    pairwise_order_agreement,
+)
+
+
+def test_table2_recall(benchmark, signaling_grid, emit):
+    grid = benchmark.pedantic(signaling_grid, rounds=1, iterations=1)
+    headers = ["Location"] + [
+        f"{power:+.0f}dBm/{n}pkt" for power in (0, -1, -3) for n in (3, 4, 5)
+    ]
+    rows = []
+    for location in "ABCD":
+        row = [location]
+        for power in (0.0, -1.0, -3.0):
+            for n_packets in (3, 4, 5):
+                _precision, recall = grid[(location, power, n_packets)]
+                row.append(recall)
+        rows.append(row)
+    measured = {key: value[1] for key, value in grid.items()}
+    trend = packet_count_trend_agreement(PAPER_TABLE2_RECALL, measured)
+    keys = sorted(PAPER_TABLE2_RECALL)
+    ordering = pairwise_order_agreement(
+        [PAPER_TABLE2_RECALL[k] for k in keys],
+        [measured[k] for k in keys],
+        tolerance=0.05,
+    )
+    table = format_table(headers, rows,
+                         title="Table II: recall of cross-technology signaling")
+    emit(
+        "table2_recall",
+        table + "\n"
+        + f"packet-count trend agreement with the paper: {trend:.2f}\n"
+        + f"pairwise ordering agreement with the paper:  {ordering:.2f}",
+    )
+
+    def recall(location, power, n):
+        return grid[(location, power, n)][1]
+
+    # A: strongest signaling spot.
+    assert recall("A", 0.0, 4) > 0.9
+    # B: full power beats -3 dBm (distance to the Wi-Fi receiver dominates).
+    assert recall("B", 0.0, 4) > recall("B", -3.0, 4) - 0.05
+    # C: 0 dBm trips the Wi-Fi sender's CCA; -1 dBm must not be worse.
+    assert recall("C", -1.0, 4) >= recall("C", 0.0, 4) - 0.05
+    # D: closest to the Wi-Fi sender; -3 dBm is the best power.
+    assert recall("D", -3.0, 4) >= recall("D", 0.0, 4) - 0.05

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Extension (paper Sec. VII-D): coordinating ZigBee and Bluetooth.
+
+BiCord's idea — the constrained device's transmissions double as a channel
+request the powerful device learns to honor — maps onto BLE as adaptive
+frequency hopping: the BLE master attributes its connection-event failures
+to the hop channels overlapping the ZigBee transmitter and *excludes* them,
+granting ZigBee a permanent spectral white space.
+
+Run:  python examples/ble_coexistence.py
+"""
+
+from repro.experiments.ble_extension import run_ble_coexistence
+
+
+def main() -> None:
+    print("A fast BLE connection (7.5 ms events) next to a ~50%-duty ZigBee link\n")
+    print("AFH    ble-success  early  late   excluded-channels  zigbee-delivery")
+    for afh in (False, True):
+        r = run_ble_coexistence(afh_enabled=afh, duration=10.0, seed=1)
+        print(f"{'on ' if afh else 'off'}    "
+              f"{r.ble_success_rate:11.3f}  {r.ble_early_success_rate:.3f}  "
+              f"{r.ble_late_success_rate:.3f}  {str(r.excluded_channels):17}  "
+              f"{r.zigbee_delivery_ratio:.3f}")
+    print("\nWith AFH on, the hop channel overlapping ZigBee channel 24 (BLE data")
+    print("channel 34 at 2470 MHz) is excluded and the BLE link finishes the run")
+    print("collision-free — the spectral analogue of BiCord's white spaces.")
+
+
+if __name__ == "__main__":
+    main()

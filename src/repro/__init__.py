@@ -1,0 +1,13 @@
+"""BiCord: bidirectional coordination among coexisting wireless devices.
+
+A full Python reproduction of the ICDCS 2021 paper, built on a discrete-event
+RF coexistence simulator.  Start with :func:`repro.context.build_context` and
+the quickstart example, or the pre-wired scenarios in
+:mod:`repro.experiments`.
+"""
+
+from .context import SimContext, build_context
+
+__version__ = "1.0.0"
+
+__all__ = ["SimContext", "build_context", "__version__"]

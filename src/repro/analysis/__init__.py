@@ -1,0 +1,21 @@
+"""Analytical models and trace analyses for the simulator substrate."""
+
+from .bianchi import BianchiResult, saturation_throughput, solve_fixed_point
+from .gaps import (
+    GapStatistics,
+    analyze_trace,
+    busy_intervals_from_trace,
+    gaps_between,
+    merge_intervals,
+)
+
+__all__ = [
+    "BianchiResult",
+    "saturation_throughput",
+    "solve_fixed_point",
+    "GapStatistics",
+    "analyze_trace",
+    "busy_intervals_from_trace",
+    "gaps_between",
+    "merge_intervals",
+]

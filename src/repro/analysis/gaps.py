@@ -1,0 +1,117 @@
+"""White-space (idle-gap) statistics of a channel.
+
+Pre-CTC coexistence schemes live or die by the *natural* idle gaps Wi-Fi
+leaves behind (Sec. III-A).  This module reconstructs the busy/idle
+structure of a run from the medium trace and computes the gap distribution
+— which is also the quantitative "why" behind the predictive baseline's
+starvation: under the paper's saturated Wi-Fi workload, essentially no gap
+fits a single ZigBee exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..phy.medium import Technology
+from ..sim.trace import TraceRecorder
+
+
+def merge_intervals(intervals: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Union of possibly-overlapping [start, end) intervals, sorted."""
+    ordered = sorted((s, e) for s, e in intervals if e > s)
+    merged: List[Tuple[float, float]] = []
+    for start, end in ordered:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def busy_intervals_from_trace(
+    trace: TraceRecorder,
+    technologies: Optional[Sequence[str]] = None,
+) -> List[Tuple[float, float]]:
+    """Busy intervals recorded as ``medium.tx_start`` events (with durations).
+
+    Requires the run to have stored the ``medium.tx_start`` trace kind.
+    """
+    wanted = set(technologies) if technologies is not None else None
+    intervals = []
+    for record in trace.of_kind("medium.tx_start"):
+        if wanted is not None and record["technology"] not in wanted:
+            continue
+        intervals.append((record.time, record.time + record["duration"]))
+    return merge_intervals(intervals)
+
+
+def gaps_between(
+    busy: Sequence[Tuple[float, float]],
+    start: float,
+    end: float,
+) -> List[float]:
+    """Idle gap lengths within [start, end] around the busy intervals."""
+    if end <= start:
+        raise ValueError("end must be after start")
+    gaps: List[float] = []
+    cursor = start
+    for lo, hi in busy:
+        if hi <= start:
+            continue
+        if lo >= end:
+            break
+        if lo > cursor:
+            gaps.append(min(lo, end) - cursor)
+        cursor = max(cursor, hi)
+    if cursor < end:
+        gaps.append(end - cursor)
+    return gaps
+
+
+@dataclass(frozen=True)
+class GapStatistics:
+    """Distribution summary of channel idle gaps."""
+
+    n_gaps: int
+    total_idle: float
+    mean: float
+    median: float
+    p90: float
+    longest: float
+    #: Fraction of *idle time* inside gaps at least ``need`` long.
+    usable_fraction: float
+    need: float
+
+    @classmethod
+    def from_gaps(cls, gaps: Sequence[float], need: float) -> "GapStatistics":
+        if not gaps:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, need)
+        array = np.asarray(gaps, dtype=float)
+        total = float(array.sum())
+        usable = float(array[array >= need].sum())
+        return cls(
+            n_gaps=len(gaps),
+            total_idle=total,
+            mean=float(array.mean()),
+            median=float(np.median(array)),
+            p90=float(np.percentile(array, 90.0)),
+            longest=float(array.max()),
+            usable_fraction=usable / total if total > 0 else 0.0,
+            need=need,
+        )
+
+
+def analyze_trace(
+    trace: TraceRecorder,
+    start: float,
+    end: float,
+    need: float,
+    technologies: Optional[Sequence[str]] = (Technology.WIFI.value,),
+) -> GapStatistics:
+    """One-call pipeline: trace -> busy intervals -> gap statistics."""
+    busy = busy_intervals_from_trace(trace, technologies)
+    gaps = gaps_between(busy, start, end)
+    return GapStatistics.from_gaps(gaps, need)

@@ -1,0 +1,17 @@
+"""Baseline coexistence schemes BiCord is compared against."""
+
+from .csma import CsmaNode
+from .ecc import EccCoordinator, EccNode
+from .fec_csma import FecCsmaNode
+from .predictive import PredictiveNode
+from .slow_ctc import SlowCtcCoordinator, SlowCtcNode
+
+__all__ = [
+    "CsmaNode",
+    "EccCoordinator",
+    "EccNode",
+    "FecCsmaNode",
+    "PredictiveNode",
+    "SlowCtcCoordinator",
+    "SlowCtcNode",
+]

@@ -1,0 +1,127 @@
+"""No-coordination baseline: plain 802.15.4 CSMA/CA under interference.
+
+The ZigBee node simply attempts every packet through the standard MAC with
+its full retry budget.  Under saturated Wi-Fi this reproduces the paper's
+motivation numbers (packet loss of 95%+, Sec. VIII-A): CCA almost never
+finds a long-enough gap, and packets that do launch collide with the next
+Wi-Fi frame.
+
+A bounded number of application-level retries (with randomized backoff) is
+included, as any real deployment would have; packets that exhaust it are
+dropped and counted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..devices.zigbee_device import ZigbeeDevice
+from ..mac.frames import Frame, zigbee_data_frame
+from ..traffic.generators import Burst
+
+
+class CsmaNode:
+    """ZigBee sender with no cross-technology coordination."""
+
+    def __init__(
+        self,
+        device: ZigbeeDevice,
+        receiver: str,
+        app_retries: int = 5,
+        retry_backoff: float = 20e-3,
+        inter_packet_gap: float = 2e-3,
+    ):
+        self.device = device
+        self.receiver = receiver
+        self.sim = device.ctx.sim
+        self.app_retries = app_retries
+        self.retry_backoff = retry_backoff
+        self.inter_packet_gap = inter_packet_gap
+        self._pending: Deque[Tuple[int, float, int]] = deque()
+        self._seq = 0
+        self._inflight: Optional[Frame] = None
+        self._attempts = 0
+        self._rng = device.ctx.streams.stream(f"csma-node/{device.name}")
+        self._outstanding_by_burst = {}
+        self._burst_created = {}
+        mac = device.mac
+        mac.on_send_success = self._on_send_success
+        mac.on_send_failure = self._on_send_failure
+        # Statistics
+        self.packet_delays: List[float] = []
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self.delivered_payload_bytes = 0
+        self.bursts_completed = 0
+        self.burst_latencies: List[float] = []
+
+    def offer_burst(self, burst: Burst) -> None:
+        was_idle = not self._pending and self._inflight is None
+        for _ in range(burst.n_packets):
+            self._pending.append((burst.payload_bytes, burst.created_at, burst.burst_id))
+        self._outstanding_by_burst[burst.burst_id] = burst.n_packets
+        self._burst_created[burst.burst_id] = burst.created_at
+        if was_idle:
+            self._send_next()
+
+    @property
+    def outstanding_packets(self) -> int:
+        # The in-flight frame is still at the head of the queue (it is only
+        # popped on success), so the queue length alone is the right count.
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def _send_next(self) -> None:
+        if self._inflight is not None or not self._pending:
+            return
+        payload, created_at, burst_id = self._pending[0]
+        self._seq += 1
+        frame = zigbee_data_frame(
+            self.device.name, self.receiver, payload, created_at=created_at,
+            burst_id=burst_id,
+        )
+        frame.seq = self._seq
+        self._inflight = frame
+        self._attempts = 0
+        self.device.mac.send(frame)
+
+    def _account_done(self, frame: Frame, delivered: bool) -> None:
+        self._inflight = None
+        self._pending.popleft()
+        burst_id = frame.meta.get("burst_id")
+        if burst_id is not None:
+            remaining = self._outstanding_by_burst.get(burst_id, 0) - 1
+            self._outstanding_by_burst[burst_id] = remaining
+            if remaining == 0 and delivered:
+                self.bursts_completed += 1
+                self.burst_latencies.append(
+                    self.sim.now - self._burst_created.pop(burst_id)
+                )
+
+    def _on_send_success(self, frame: Frame) -> None:
+        if frame is not self._inflight:
+            return
+        self.packet_delays.append(self.sim.now - frame.created_at)
+        self.packets_delivered += 1
+        self.delivered_payload_bytes += frame.payload_bytes
+        self._account_done(frame, delivered=True)
+        if self._pending:
+            self.sim.schedule(self.inter_packet_gap, self._send_next)
+
+    def _on_send_failure(self, frame: Frame, reason: str) -> None:
+        if frame is not self._inflight:
+            return
+        self._attempts += 1
+        if self._attempts > self.app_retries:
+            self.packets_dropped += 1
+            self._account_done(frame, delivered=False)
+            if self._pending:
+                self.sim.schedule(self.inter_packet_gap, self._send_next)
+            return
+        delay = self.retry_backoff * (0.5 + float(self._rng.random()))
+        self.sim.schedule(delay, self._retry, frame)
+
+    def _retry(self, frame: Frame) -> None:
+        if frame is self._inflight:
+            self.device.mac.send(frame)

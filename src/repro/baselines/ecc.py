@@ -1,0 +1,187 @@
+"""ECC baseline (Yin et al., MobiSys'18) — unidirectional coordination.
+
+ECC's Wi-Fi device *voluntarily* reserves white spaces of a **fixed,
+predefined length** on a **fixed period** and announces each one to nearby
+ZigBee nodes through physical-layer CTC (WEBee-style emulation).  ZigBee
+nodes cannot ask for the channel; they buffer traffic and wait for the next
+announcement, then transmit inside the announced window, stopping early when
+the remaining window cannot fit another packet exchange.
+
+This reproduces the two pathologies BiCord attacks (Sec. III-A):
+
+* **waste** — white spaces are reserved whether or not ZigBee has data, and
+  may be longer than needed;
+* **delay** — a burst arriving just after a white space waits most of a
+  period, and a burst longer than the window is smeared across several
+  periods.
+
+The CTC announcement is modeled as a broadcast delivered to each registered
+node with probability ``ctc_reliability`` (WEBee-class CTC is fast but not
+perfect); a missed announcement means the node sits out that white space.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..devices.wifi_device import WifiDevice
+from ..devices.zigbee_device import ZigbeeDevice
+from ..mac.frames import Frame, zigbee_data_frame
+from ..sim.process import Process
+from ..traffic.generators import Burst
+
+
+class EccCoordinator:
+    """Wi-Fi side of ECC: periodic fixed white spaces + CTC announcements."""
+
+    def __init__(
+        self,
+        device: WifiDevice,
+        whitespace: float = 20e-3,
+        period: float = 100e-3,
+        ctc_reliability: float = 0.95,
+        grant_policy=None,
+    ):
+        if whitespace >= period:
+            raise ValueError("whitespace must be shorter than the period")
+        self.device = device
+        self.sim = device.ctx.sim
+        self.trace = device.ctx.trace
+        self.whitespace = whitespace
+        self.period = period
+        self.ctc_reliability = ctc_reliability
+        self.grant_policy = grant_policy
+        self.nodes: List["EccNode"] = []
+        self._rng = device.ctx.streams.stream(f"ecc/{device.name}")
+        self.whitespaces_issued = 0
+        self.whitespace_airtime = 0.0
+        self.skipped = 0
+        self._process = Process(self.sim, self._run(), name=f"ecc/{device.name}")
+
+    def register(self, node: "EccNode") -> None:
+        self.nodes.append(node)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _run(self):
+        while True:
+            yield self.period
+            if self.grant_policy is not None and not self.grant_policy():
+                self.skipped += 1
+                continue
+            self._issue_whitespace()
+
+    def _issue_whitespace(self) -> None:
+        self.whitespaces_issued += 1
+        self.whitespace_airtime += self.whitespace
+        self.device.mac.reserve_whitespace(self.whitespace, ecc=True)
+        # CTC notification: the white space starts once the CTS is on the
+        # air; announce a conservative start time (now + CTS access delay).
+        start = self.sim.now + 1.5e-3
+        end = self.sim.now + self.whitespace
+        self.trace.record(self.sim.now, "ecc.whitespace", start=start, end=end)
+        for node in self.nodes:
+            if self._rng.random() < self.ctc_reliability:
+                node.on_ctc_notification(start, end)
+
+
+class EccNode:
+    """ZigBee side of ECC: buffer bursts, transmit inside announced windows."""
+
+    def __init__(self, device: ZigbeeDevice, receiver: str, inter_packet_gap: float = 2e-3):
+        self.device = device
+        self.receiver = receiver
+        self.sim = device.ctx.sim
+        self.trace = device.ctx.trace
+        self.inter_packet_gap = inter_packet_gap
+        self._pending: Deque[Tuple[int, float, int]] = deque()
+        self._seq = 0
+        self._inflight: Optional[Frame] = None
+        self._window_end = 0.0
+        self._outstanding_by_burst = {}
+        self._burst_created = {}
+        mac = device.mac
+        mac.on_send_success = self._on_send_success
+        mac.on_send_failure = self._on_send_failure
+        # Statistics
+        self.packet_delays: List[float] = []
+        self.packets_delivered = 0
+        self.delivered_payload_bytes = 0
+        self.bursts_completed = 0
+        self.burst_latencies: List[float] = []
+        self.windows_used = 0
+        self.send_failures = 0
+
+    # ------------------------------------------------------------------
+    def offer_burst(self, burst: Burst) -> None:
+        for _ in range(burst.n_packets):
+            self._pending.append((burst.payload_bytes, burst.created_at, burst.burst_id))
+        self._outstanding_by_burst[burst.burst_id] = burst.n_packets
+        self._burst_created[burst.burst_id] = burst.created_at
+
+    @property
+    def outstanding_packets(self) -> int:
+        # The in-flight frame is still at the head of the queue (it is only
+        # popped on success), so the queue length alone is the right count.
+        return len(self._pending)
+
+    def on_ctc_notification(self, start: float, end: float) -> None:
+        """A white space [start, end] was announced via CTC."""
+        if not self._pending:
+            return
+        self.windows_used += 1
+        self._window_end = end
+        delay = max(0.0, start - self.sim.now)
+        self.sim.schedule(delay, self._send_next)
+
+    # ------------------------------------------------------------------
+    def _exchange_time(self, payload: int) -> float:
+        frame = zigbee_data_frame(self.device.name, self.receiver, payload)
+        return frame.duration() + 2.5e-3  # ACK + turnarounds + CSMA margin
+
+    def _send_next(self) -> None:
+        if self._inflight is not None or not self._pending:
+            return
+        payload, created_at, burst_id = self._pending[0]
+        if self.sim.now + self._exchange_time(payload) > self._window_end:
+            return  # the rest of the burst waits for the next white space
+        self._seq += 1
+        frame = zigbee_data_frame(
+            self.device.name, self.receiver, payload, created_at=created_at,
+            burst_id=burst_id,
+        )
+        frame.seq = self._seq
+        self._inflight = frame
+        self.device.mac.send(frame)
+
+    def _on_send_success(self, frame: Frame) -> None:
+        if frame is not self._inflight:
+            return
+        self._inflight = None
+        self._pending.popleft()
+        self.packet_delays.append(self.sim.now - frame.created_at)
+        self.packets_delivered += 1
+        self.delivered_payload_bytes += frame.payload_bytes
+        burst_id = frame.meta.get("burst_id")
+        if burst_id is not None:
+            remaining = self._outstanding_by_burst.get(burst_id, 0) - 1
+            self._outstanding_by_burst[burst_id] = remaining
+            if remaining == 0:
+                self.bursts_completed += 1
+                self.burst_latencies.append(
+                    self.sim.now - self._burst_created.pop(burst_id)
+                )
+        if self._pending:
+            self.sim.schedule(self.inter_packet_gap, self._send_next)
+
+    def _on_send_failure(self, frame: Frame, reason: str) -> None:
+        if frame is not self._inflight:
+            return
+        self._inflight = None
+        self.send_failures += 1
+        # The packet stays at the head of the queue; the next white space
+        # (or the rest of this one) will retry it.
+        if self._pending:
+            self.sim.schedule(self.inter_packet_gap, self._send_next)

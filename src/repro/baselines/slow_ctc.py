@@ -1,0 +1,222 @@
+"""Bidirectional coordination over *slow* packet-level CTC (Sec. III-B).
+
+The paper's central design argument is that existing ZigBee→Wi-Fi CTC
+schemes cannot carry the channel request fast enough: packet-level CTC needs
+tight time-window synchronization first (AdaComm's Barker-code sync alone
+takes ≈110 ms), which "would neutralize the benefits of the coordination
+scheme" — a 5-packet burst only needs ~30 ms of channel time.
+
+This baseline implements exactly that strawman so the claim can be
+*measured*: the protocol structure is BiCord's (request → white space →
+learning), but each request travels over a modeled packet-level CTC channel
+with a synchronization+decode latency and a delivery probability, instead
+of BiCord's sub-5 ms CSI signaling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..core.config import BicordConfig
+from ..core.whitespace import AdaptiveWhitespaceAllocator
+from ..devices.wifi_device import WifiDevice
+from ..devices.zigbee_device import ZigbeeDevice
+from ..mac.frames import Frame, zigbee_data_frame
+from ..phy.medium import Technology
+from ..sim.engine import Event
+from ..traffic.generators import Burst
+
+#: AdaComm's measured synchronization time (Sec. III-B).
+DEFAULT_CTC_LATENCY_S = 110e-3
+
+
+class SlowCtcCoordinator:
+    """Wi-Fi side: grants adaptive white spaces on (late) CTC requests."""
+
+    def __init__(
+        self,
+        device: WifiDevice,
+        config: Optional[BicordConfig] = None,
+    ):
+        self.device = device
+        self.sim = device.ctx.sim
+        self.config = config or BicordConfig()
+        self.allocator = AdaptiveWhitespaceAllocator(self.config.allocator)
+        self._whitespace_until = 0.0
+        self._burst_watch: Optional[Event] = None
+        self.grants_issued = 0
+        self.whitespace_airtime = 0.0
+        #: Nodes to notify when a white space opens.  The *downlink* CTC
+        #: (Wi-Fi -> ZigBee, WEBee-class emulation) is fast and reliable —
+        #: only the uplink request channel is slow in this baseline.
+        self.nodes: List["SlowCtcNode"] = []
+        device.mac.sent_listeners.append(self._on_frame_sent)
+
+    def register(self, node: "SlowCtcNode") -> None:
+        self.nodes.append(node)
+
+    def on_ctc_request(self) -> None:
+        """A (delayed) channel request arrived over the CTC side channel."""
+        now = self.sim.now
+        if now < self._whitespace_until:
+            return
+        if self._burst_watch is not None and self._burst_watch.pending:
+            self._burst_watch.cancel()
+            self._burst_watch = None
+        duration = self.allocator.grant(now)
+        self.grants_issued += 1
+        self.device.mac.reserve_whitespace(duration, slow_ctc=True)
+
+    def _on_frame_sent(self, frame: Frame) -> None:
+        if not frame.meta.get("slow_ctc"):
+            return
+        duration = frame.meta.get("nav_duration", 0.0)
+        self._whitespace_until = self.sim.now + duration
+        self.whitespace_airtime += duration
+        for node in self.nodes:
+            node.on_whitespace(self.sim.now, self._whitespace_until)
+        watch_at = self._whitespace_until + self.config.allocator.end_silence
+        self._burst_watch = self.sim.schedule_at(watch_at, self._check_burst_end)
+
+    def _check_burst_end(self) -> None:
+        self._burst_watch = None
+        self.allocator.on_burst_end(self.sim.now)
+
+    def stop(self) -> None:
+        if self._burst_watch is not None:
+            self._burst_watch.cancel()
+
+
+class SlowCtcNode:
+    """ZigBee side: BiCord's loop, but requests ride a slow CTC channel."""
+
+    def __init__(
+        self,
+        device: ZigbeeDevice,
+        receiver: str,
+        coordinator: SlowCtcCoordinator,
+        ctc_latency: float = DEFAULT_CTC_LATENCY_S,
+        ctc_reliability: float = 0.9,
+        config: Optional[BicordConfig] = None,
+    ):
+        self.device = device
+        self.receiver = receiver
+        self.coordinator = coordinator
+        coordinator.register(self)
+        self.ctc_latency = ctc_latency
+        self.ctc_reliability = ctc_reliability
+        self.sim = device.ctx.sim
+        self.config = config or BicordConfig()
+        self._rng = device.ctx.streams.stream(f"slow-ctc/{device.name}")
+        mac = device.mac
+        mac.max_frame_retries = 1
+        mac.max_csma_backoffs = 2
+        mac.on_send_success = self._on_send_success
+        mac.on_send_failure = self._on_send_failure
+        self._pending: Deque[Tuple[int, float, int]] = deque()
+        self._seq = 0
+        self._inflight: Optional[Frame] = None
+        self._request_outstanding = False
+        self._outstanding_by_burst = {}
+        self._burst_created = {}
+        # Statistics
+        self.packet_delays: List[float] = []
+        self.packets_delivered = 0
+        self.delivered_payload_bytes = 0
+        self.bursts_completed = 0
+        self.burst_latencies: List[float] = []
+        self.requests_sent = 0
+        self.requests_lost = 0
+
+    # ------------------------------------------------------------------
+    def offer_burst(self, burst: Burst) -> None:
+        was_idle = not self._pending and self._inflight is None
+        for _ in range(burst.n_packets):
+            self._pending.append((burst.payload_bytes, burst.created_at, burst.burst_id))
+        self._outstanding_by_burst[burst.burst_id] = burst.n_packets
+        self._burst_created[burst.burst_id] = burst.created_at
+        if was_idle:
+            self._send_next()
+
+    @property
+    def outstanding_packets(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def _send_next(self) -> None:
+        if self._inflight is not None or not self._pending:
+            return
+        payload, created_at, burst_id = self._pending[0]
+        self._seq += 1
+        frame = zigbee_data_frame(
+            self.device.name, self.receiver, payload, created_at=created_at,
+            burst_id=burst_id,
+        )
+        frame.seq = self._seq
+        self._inflight = frame
+        self.device.mac.send(frame)
+
+    def _on_send_success(self, frame: Frame) -> None:
+        if frame is not self._inflight:
+            return
+        self._inflight = None
+        self._pending.popleft()
+        self.packet_delays.append(self.sim.now - frame.created_at)
+        self.packets_delivered += 1
+        self.delivered_payload_bytes += frame.payload_bytes
+        burst_id = frame.meta.get("burst_id")
+        if burst_id is not None:
+            remaining = self._outstanding_by_burst.get(burst_id, 0) - 1
+            self._outstanding_by_burst[burst_id] = remaining
+            if remaining == 0:
+                self.bursts_completed += 1
+                self.burst_latencies.append(
+                    self.sim.now - self._burst_created.pop(burst_id)
+                )
+        if self._pending:
+            self.sim.schedule(self.config.signaling.inter_packet_gap, self._send_next)
+
+    def _on_send_failure(self, frame: Frame, reason: str) -> None:
+        if frame is not self._inflight:
+            return
+        if self._wifi_present():
+            self._request_channel()
+        self.sim.schedule(self.config.signaling.retry_backoff, self._retry)
+
+    def _wifi_present(self) -> bool:
+        energy = self.device.radio.energy_dbm_of({Technology.WIFI})
+        floor = self.device.radio.noise_floor_dbm
+        return energy >= floor + self.config.signaling.wifi_energy_margin_db
+
+    def _request_channel(self) -> None:
+        """Send the request over the slow CTC channel (once per outage)."""
+        if self._request_outstanding:
+            return
+        self._request_outstanding = True
+        self.requests_sent += 1
+        if self._rng.random() < self.ctc_reliability:
+            self.sim.schedule(self.ctc_latency, self._request_delivered)
+        else:
+            self.requests_lost += 1
+            # The node notices nothing happened and tries again later.
+            self.sim.schedule(self.ctc_latency, self._request_expired)
+
+    def _request_delivered(self) -> None:
+        self._request_outstanding = False
+        self.coordinator.on_ctc_request()
+
+    def _request_expired(self) -> None:
+        self._request_outstanding = False
+
+    def on_whitespace(self, start: float, end: float) -> None:
+        """Fast downlink CTC: a white space just opened — use it now."""
+        self.sim.schedule(1e-3, self._retry)
+
+    def _retry(self) -> None:
+        frame = self._inflight
+        if frame is None:
+            return
+        if self.device.mac._current is not None:
+            return
+        self.device.mac.send(frame)

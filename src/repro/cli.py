@@ -1,0 +1,280 @@
+"""Command-line interface: run BiCord scenarios without writing code.
+
+Examples::
+
+    python -m repro.cli coexist --scheme bicord --location A --bursts 30
+    python -m repro.cli coexist --scheme ecc --ecc-whitespace 20
+    python -m repro.cli signaling --location C --power -1 --packets 4
+    python -m repro.cli learning --packets 10 --step 30
+    python -m repro.cli cti
+    python -m repro.cli priority --proportion 0.3 --scheme bicord
+    python -m repro.cli energy
+    python -m repro.cli ble --no-afh
+
+Every subcommand prints a small table of the metrics the paper reports for
+that scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    CoexistenceConfig,
+    format_table,
+    run_ble_coexistence,
+    run_coexistence,
+    run_cti_accuracy,
+    run_device_identification,
+    run_energy_trial,
+    run_learning_trial,
+    run_priority_experiment,
+    run_signaling_trial,
+)
+
+
+def _print(title: str, rows, headers=("metric", "value")) -> None:
+    print(format_table(headers, rows, title=title, float_format="{:.4f}"))
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_coexist(args: argparse.Namespace) -> int:
+    if args.config:
+        from .serialization import loads
+
+        with open(args.config, "r", encoding="utf-8") as handle:
+            config = loads(CoexistenceConfig, handle.read())
+    else:
+        config = CoexistenceConfig(
+            scheme=args.scheme,
+            location=args.location,
+            seed=args.seed,
+            burst_packets=args.packets,
+            payload_bytes=args.payload,
+            burst_interval=args.interval,
+            poisson=not args.periodic,
+            n_bursts=args.bursts,
+            ecc_whitespace=args.ecc_whitespace * 1e-3,
+            mobility=args.mobility,
+        )
+    if args.dump_config:
+        from .serialization import dumps
+
+        print(dumps(config))
+        return 0
+    result = run_coexistence(config)
+    _print(
+        f"coexistence: {config.scheme} at location {config.location}",
+        [
+            ["channel utilization", result.channel_utilization],
+            ["zigbee utilization", result.zigbee_utilization],
+            ["wifi utilization", result.wifi_utilization],
+            ["mean zigbee delay (ms)", result.mean_delay * 1e3],
+            ["p95 zigbee delay (ms)", result.p95_delay * 1e3],
+            ["zigbee throughput (kbps)", result.zigbee_throughput_bps / 1e3],
+            ["delivery ratio", result.delivery_ratio],
+            ["control packets", float(result.control_packets)],
+            ["white spaces issued", float(result.whitespaces_issued)],
+        ],
+    )
+    return 0
+
+
+def cmd_signaling(args: argparse.Namespace) -> int:
+    result = run_signaling_trial(
+        location=args.location,
+        power_dbm=args.power,
+        n_control_packets=args.packets,
+        n_salvos=args.salvos,
+        seed=args.seed,
+    )
+    _print(
+        f"signaling: location {args.location}, {args.power:+.0f} dBm, "
+        f"{args.packets} control packets",
+        [
+            ["precision", result.pr.precision],
+            ["recall", result.pr.recall],
+            ["true positives", float(result.pr.true_positives)],
+            ["false positives", float(result.pr.false_positives)],
+            ["wifi PRR during trial", result.wifi_prr],
+        ],
+    )
+    return 0
+
+
+def cmd_learning(args: argparse.Namespace) -> int:
+    result = run_learning_trial(
+        n_packets=args.packets,
+        step=args.step * 1e-3,
+        location=args.location,
+        n_bursts=args.bursts,
+        seed=args.seed,
+    )
+    _print(
+        f"white-space learning: {args.packets}-packet bursts, {args.step:.0f} ms step",
+        [
+            ["converged", float(result.converged)],
+            ["iterations", float(result.iterations)],
+            ["final white space (ms)", result.final_whitespace * 1e3],
+            ["burst airtime (ms)", result.burst_airtime * 1e3],
+        ],
+    )
+    trajectory = ", ".join(f"{g * 1e3:.0f}" for g in result.trajectory[:20])
+    print(f"trajectory (ms): {trajectory}")
+    return 0
+
+
+def cmd_cti(args: argparse.Namespace) -> int:
+    cti = run_cti_accuracy(n_traces=args.traces, seed=args.seed)
+    device = run_device_identification(n_traces=args.traces, seed=args.seed)
+    _print(
+        "CTI detection",
+        [
+            ["wifi detection accuracy (paper 0.9639)", cti.wifi_detection_accuracy],
+            ["multiclass accuracy", cti.multiclass_accuracy],
+            ["device identification (paper 0.8976)", device.accuracy],
+        ],
+    )
+    return 0
+
+
+def cmd_priority(args: argparse.Namespace) -> int:
+    result = run_priority_experiment(
+        args.scheme,
+        high_proportion=args.proportion,
+        total_duration=args.duration,
+        seed=args.seed,
+    )
+    _print(
+        f"priority traffic: {args.scheme}, high-priority share {args.proportion}",
+        [
+            ["channel utilization", result.utilization],
+            ["zigbee utilization", result.zigbee_utilization],
+            ["low-priority wifi delay (ms)", result.low_priority_wifi_delay * 1e3],
+            ["high-priority wifi delay (ms)", result.high_priority_wifi_delay * 1e3],
+            ["zigbee mean delay (ms)", result.zigbee_mean_delay * 1e3],
+        ],
+    )
+    return 0
+
+
+def cmd_energy(args: argparse.Namespace) -> int:
+    result = run_energy_trial(n_bursts=args.bursts, seed=args.seed)
+    _print(
+        "energy overhead (paper: 10-21%)",
+        [
+            ["bicord under wifi (mJ)", result.bicord_mj],
+            ["clear channel (mJ)", result.clear_channel_mj],
+            ["overhead (%)", result.overhead_fraction * 100.0],
+            ["control packets", float(result.control_packets)],
+        ],
+    )
+    return 0
+
+
+def cmd_ble(args: argparse.Namespace) -> int:
+    result = run_ble_coexistence(
+        afh_enabled=args.afh, duration=args.duration, seed=args.seed
+    )
+    _print(
+        f"ZigBee/BLE coexistence (AFH {'on' if args.afh else 'off'})",
+        [
+            ["ble event success rate", result.ble_success_rate],
+            ["ble late-window success", result.ble_late_success_rate],
+            ["excluded channels", float(len(result.excluded_channels))],
+            ["zigbee delivery ratio", result.zigbee_delivery_ratio],
+            ["zigbee mean delay (ms)", result.zigbee_mean_delay * 1e3],
+        ],
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="BiCord reproduction scenarios"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--location", choices="ABCD", default="A")
+
+    p = sub.add_parser("coexist", help="one coexistence run (Fig. 10/11 style)")
+    common(p)
+    p.add_argument("--scheme",
+                   choices=("bicord", "ecc", "csma", "predictive", "slow-ctc"),
+                   default="bicord")
+    p.add_argument("--bursts", type=int, default=30)
+    p.add_argument("--packets", type=int, default=5)
+    p.add_argument("--payload", type=int, default=50)
+    p.add_argument("--interval", type=float, default=0.2,
+                   help="mean burst interval in seconds")
+    p.add_argument("--periodic", action="store_true",
+                   help="fixed intervals instead of Poisson")
+    p.add_argument("--ecc-whitespace", type=float, default=20.0,
+                   help="ECC white space in ms")
+    p.add_argument("--mobility", choices=("none", "person", "device"),
+                   default="none")
+    p.add_argument("--config", metavar="FILE",
+                   help="load the full CoexistenceConfig from a JSON file "
+                        "(overrides the other options)")
+    p.add_argument("--dump-config", action="store_true",
+                   help="print the effective config as JSON and exit")
+    p.set_defaults(func=cmd_coexist)
+
+    p = sub.add_parser("signaling", help="precision/recall trial (Tables I-II)")
+    common(p)
+    p.add_argument("--power", type=float, default=0.0)
+    p.add_argument("--packets", type=int, default=4)
+    p.add_argument("--salvos", type=int, default=100)
+    p.set_defaults(func=cmd_signaling)
+
+    p = sub.add_parser("learning", help="white-space learning (Figs. 7-9)")
+    common(p)
+    p.add_argument("--packets", type=int, default=10)
+    p.add_argument("--step", type=float, default=30.0, help="initial step in ms")
+    p.add_argument("--bursts", type=int, default=14)
+    p.set_defaults(func=cmd_learning)
+
+    p = sub.add_parser("cti", help="CTI detection accuracy (Sec. VII-A)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--traces", type=int, default=60)
+    p.set_defaults(func=cmd_cti)
+
+    p = sub.add_parser("priority", help="prioritized Wi-Fi traffic (Fig. 13)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scheme", choices=("bicord", "ecc"), default="bicord")
+    p.add_argument("--proportion", type=float, default=0.3)
+    p.add_argument("--duration", type=float, default=6.0)
+    p.set_defaults(func=cmd_priority)
+
+    p = sub.add_parser("energy", help="energy overhead (Sec. VII-B)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--bursts", type=int, default=8)
+    p.set_defaults(func=cmd_energy)
+
+    p = sub.add_parser("ble", help="ZigBee/BLE extension (Sec. VII-D)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=10.0)
+    p.add_argument("--afh", dest="afh", action="store_true", default=True)
+    p.add_argument("--no-afh", dest="afh", action="store_false")
+    p.set_defaults(func=cmd_ble)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

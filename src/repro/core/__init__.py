@@ -1,0 +1,42 @@
+"""BiCord core: cross-technology signaling + adaptive white-space allocation."""
+
+from .config import AllocatorConfig, BicordConfig, DetectorConfig, SignalingConfig
+from .coordinator import BicordCoordinator
+from .csi_detector import ZigbeeSignalDetector
+from .cti import CtiClassifier, InterfererClass, RssiFeatures, extract_features
+from .fingerprint import DeviceIdentifier, Fingerprint, extract_fingerprint
+from .negotiation import NegotiationResult, PowerNegotiator
+from .node import BicordNode
+from .powermap import CANDIDATE_POWERS_DBM, PowerMap, negotiate_power
+from .whitespace import (
+    AdaptiveWhitespaceAllocator,
+    AllocatorPhase,
+    BurstEstimate,
+    GrantRecord,
+)
+
+__all__ = [
+    "AllocatorConfig",
+    "BicordConfig",
+    "DetectorConfig",
+    "SignalingConfig",
+    "BicordCoordinator",
+    "ZigbeeSignalDetector",
+    "CtiClassifier",
+    "InterfererClass",
+    "RssiFeatures",
+    "extract_features",
+    "DeviceIdentifier",
+    "Fingerprint",
+    "extract_fingerprint",
+    "BicordNode",
+    "NegotiationResult",
+    "PowerNegotiator",
+    "CANDIDATE_POWERS_DBM",
+    "PowerMap",
+    "negotiate_power",
+    "AdaptiveWhitespaceAllocator",
+    "AllocatorPhase",
+    "BurstEstimate",
+    "GrantRecord",
+]

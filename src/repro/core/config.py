@@ -1,0 +1,95 @@
+"""BiCord protocol parameters.
+
+Defaults follow the paper's implementation values:
+
+* detector: ``N = 2`` high-fluctuation CSI samples within ``T = 5 ms``;
+* control packets of 120 bytes (long enough to span two consecutive Wi-Fi
+  packets at the paper's 1 ms traffic);
+* initial white space of 30 or 40 ms during the learning phase;
+* ``T_c = 8 ms`` as the per-round control-packet time used in estimation;
+* end of a ZigBee burst declared after 20 ms without ZigBee signal once
+  Wi-Fi resumes;
+* traffic-pattern re-estimation every 10 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DetectorConfig:
+    """CSI-detector parameters (Sec. V)."""
+
+    #: Classification threshold between "slight jitter" and "high fluctuation".
+    fluctuation_threshold: float = 0.25
+    #: N: high-fluctuation samples required within the window.
+    required_samples: int = 2
+    #: T: window length in seconds.
+    window: float = 5e-3
+    #: Suppress repeated detections for this long after firing.
+    refractory: float = 4e-3
+
+
+@dataclass
+class AllocatorConfig:
+    """Adaptive white-space allocation parameters (Sec. VI)."""
+
+    #: Initial (step) white space used in the learning phase, seconds.
+    initial_whitespace: float = 30e-3
+    #: T_c: control-packet time subtracted (twice) per round in estimation.
+    control_packet_time: float = 8e-3
+    #: How many control-packet times to subtract per round in the estimate
+    #: (the paper uses 2 — "a conservative estimation by subtracting 2*T_c
+    #: for each round"; the ablation benches vary this).
+    estimation_margin_control_packets: float = 2.0
+    #: Silence after Wi-Fi resumes that ends a ZigBee burst, seconds.
+    end_silence: float = 20e-3
+    #: Expiring timer that triggers periodic re-estimation, seconds.
+    reestimation_period: float = 10.0
+    #: Once converged, this many *consecutive* multi-round bursts are needed
+    #: before the estimate grows again.  A single multi-round burst is more
+    #: often two application bursts arriving back-to-back (Poisson chaining)
+    #: than a genuine traffic-pattern change; reacting to it immediately
+    #: ratchets the white space upward and wastes channel time.
+    growth_debounce: int = 2
+    #: Safety clamps on granted white spaces.
+    min_whitespace: float = 5e-3
+    max_whitespace: float = 200e-3
+
+
+@dataclass
+class SignalingConfig:
+    """ZigBee-side cross-technology signaling parameters (Sec. V, VII-A)."""
+
+    #: Length of one control packet on the air, bytes (MPDU).
+    control_packet_bytes: int = 120
+    #: Gap between consecutive control packets of one salvo, seconds.
+    control_packet_gap: float = 1e-3
+    #: Give up the current signaling salvo after this many control packets
+    #: (the Wi-Fi device is ignoring the request).
+    max_control_packets: int = 8
+    #: Wait before re-trying a whole salvo after the Wi-Fi device ignored it.
+    retry_backoff: float = 50e-3
+    #: Default control-packet power when the PowerMap has no entry, dBm.
+    default_power_dbm: float = 0.0
+    #: Pacing between data packets inside a burst, seconds (application-level
+    #: interval T_i; tuned so ten 50 B packets span ~60 ms as in the paper).
+    inter_packet_gap: float = 2e-3
+    #: Energy above the ZigBee noise floor treated as "Wi-Fi present" by the
+    #: fast CTI check, dB.
+    wifi_energy_margin_db: float = 15.0
+    #: Paper's future-work extension (Sec. VII-B): reuse control packets to
+    #: carry the head-of-line data packet.  A unicast 120 B control packet is
+    #: then acknowledged by the ZigBee receiver, so a successful signaling
+    #: round also delivers one packet "for free".
+    piggyback_data: bool = False
+
+
+@dataclass
+class BicordConfig:
+    """Top-level BiCord configuration."""
+
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    allocator: AllocatorConfig = field(default_factory=AllocatorConfig)
+    signaling: SignalingConfig = field(default_factory=SignalingConfig)

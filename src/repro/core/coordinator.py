@@ -1,0 +1,150 @@
+"""BiCord's Wi-Fi side: detect requests, grant adaptive white spaces.
+
+The coordinator runs on the Wi-Fi device that hosts the CSI extractor (the
+link *receiver* in the paper's setup).  It wires together:
+
+* the :class:`~repro.core.csi_detector.ZigbeeSignalDetector` fed by the
+  device's CSI observer;
+* the :class:`~repro.core.whitespace.AdaptiveWhitespaceAllocator` deciding
+  grant lengths;
+* the MAC's CTS-to-self reservation, which silences all Wi-Fi devices in
+  range (including this one) for the grant duration.
+
+Round/burst bookkeeping follows Sec. VI: a detection while no white space is
+active starts (or continues) a burst and triggers a grant; after each white
+space ends, if no further ZigBee signal is detected within ``end_silence``
+(20 ms) the burst is declared over and the allocator updates its estimate.
+
+The coordinator is *not forced* to grant: a ``grant_policy`` callback can
+veto requests (e.g. while high-priority video traffic is queued — Sec. VIII-G).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..devices.wifi_device import WifiDevice
+from ..mac.frames import Frame
+from ..sim.engine import Event
+from .config import BicordConfig
+from .csi_detector import ZigbeeSignalDetector
+from .whitespace import AdaptiveWhitespaceAllocator
+
+
+class BicordCoordinator:
+    """Wi-Fi-side BiCord controller bound to a CSI-capable Wi-Fi device."""
+
+    def __init__(
+        self,
+        device: WifiDevice,
+        config: Optional[BicordConfig] = None,
+        grant_policy: Optional[Callable[[], bool]] = None,
+    ):
+        if device.csi is None:
+            raise ValueError(
+                "BicordCoordinator needs a Wi-Fi device with a CSI observer "
+                "(construct it with with_csi=True)"
+            )
+        self.device = device
+        self.sim = device.ctx.sim
+        self.trace = device.ctx.trace
+        self.config = config or BicordConfig()
+        self.grant_policy = grant_policy
+        self.detector = ZigbeeSignalDetector(self.config.detector)
+        self.allocator = AdaptiveWhitespaceAllocator(self.config.allocator)
+        device.csi.subscribe(self.detector.observe)
+        self.detector.on_detection.append(self._on_detection)
+        self._whitespace_until = 0.0
+        self._burst_watch: Optional[Event] = None
+        self._pending_grant: Optional[float] = None
+        device.mac.sent_listeners.append(self._on_frame_sent)
+        self._reestimation_event = self.sim.schedule(
+            self.config.allocator.reestimation_period, self._reestimate
+        )
+        # Statistics
+        self.grants_issued = 0
+        self.requests_ignored = 0
+        self.whitespace_airtime = 0.0
+        self.bursts_completed = 0
+
+    # ------------------------------------------------------------------
+    # Detection path
+    # ------------------------------------------------------------------
+    def _on_detection(self, now: float) -> None:
+        if now < self._whitespace_until or self._pending_grant is not None:
+            # Already serving a white space (or one is queued): the signal is
+            # leftover fluctuation from the same request.
+            return
+        if self._burst_watch is not None and self._burst_watch.pending:
+            # The burst continues into another round: keep counting.
+            self._burst_watch.cancel()
+            self._burst_watch = None
+        if self.grant_policy is not None and not self.grant_policy():
+            self.requests_ignored += 1
+            self.trace.record(now, "bicord.request_ignored", coordinator=self.device.name)
+            return
+        duration = self.allocator.grant(now)
+        self._pending_grant = duration
+        self.grants_issued += 1
+        self.trace.record(
+            now, "bicord.grant", coordinator=self.device.name,
+            duration=duration, round=self.allocator.rounds_in_current_burst,
+            phase=self.allocator.phase.value,
+        )
+        self.device.mac.reserve_whitespace(duration, bicord=True)
+
+    def _on_frame_sent(self, frame: Frame) -> None:
+        if not frame.meta.get("bicord"):
+            return
+        duration = frame.meta.get("nav_duration", 0.0)
+        self._pending_grant = None
+        self._whitespace_until = self.sim.now + duration
+        self.whitespace_airtime += duration
+        self.detector.reset()
+        # Watch for the end of the burst: end_silence after Wi-Fi resumes.
+        watch_at = self._whitespace_until + self.config.allocator.end_silence
+        if self._burst_watch is not None and self._burst_watch.pending:
+            self._burst_watch.cancel()
+        self._burst_watch = self.sim.schedule_at(watch_at, self._check_burst_end)
+
+    def _check_burst_end(self) -> None:
+        self._burst_watch = None
+        last = self.detector.last_detection
+        if last is not None and last >= self._whitespace_until:
+            # A fresh detection arrived after resume; _on_detection already
+            # granted the next round, so the burst is still running.
+            return
+        estimate = self.allocator.on_burst_end(self.sim.now)
+        self.bursts_completed += 1
+        self.trace.record(
+            self.sim.now, "bicord.burst_end", coordinator=self.device.name,
+            whitespace=self.allocator.current_whitespace,
+            converged=self.allocator.converged,
+            estimation=estimate.estimation if estimate else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Re-estimation timer
+    # ------------------------------------------------------------------
+    def _reestimate(self) -> None:
+        self.allocator.on_reestimation_timer(self.sim.now)
+        self.trace.record(self.sim.now, "bicord.reestimate", coordinator=self.device.name)
+        self._reestimation_event = self.sim.schedule(
+            self.config.allocator.reestimation_period, self._reestimate
+        )
+
+    def stop(self) -> None:
+        """Cancel timers (end of experiment)."""
+        if self._reestimation_event is not None:
+            self._reestimation_event.cancel()
+        if self._burst_watch is not None:
+            self._burst_watch.cancel()
+
+    # ------------------------------------------------------------------
+    @property
+    def whitespace_active(self) -> bool:
+        return self.sim.now < self._whitespace_until
+
+    @property
+    def current_whitespace(self) -> float:
+        return self.allocator.current_whitespace

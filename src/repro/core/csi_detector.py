@@ -1,0 +1,74 @@
+"""ZigBee-signal detection from the CSI stream (Sec. V).
+
+The Wi-Fi receiver never decodes ZigBee frames.  It classifies each CSI
+deviation sample against a threshold into *slight jitter* vs *high
+fluctuation*, and declares "ZigBee present" when at least ``N`` high
+fluctuations fall within a sliding window of ``T`` seconds.  Continuity is
+what separates a ZigBee control salvo (which keeps disturbing consecutive
+Wi-Fi frames) from an isolated strong-noise spike — the paper's key
+false-positive defense.
+
+The detector is a pure consumer of :class:`~repro.phy.csi.CsiSample`; it has
+no access to ground truth.  Precision/recall accounting against the samples'
+``zigbee_overlap`` flag happens in the experiment harness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from ..phy.csi import CsiSample
+from .config import DetectorConfig
+
+
+class ZigbeeSignalDetector:
+    """Sliding-window continuity detector over CSI deviations."""
+
+    def __init__(self, config: Optional[DetectorConfig] = None):
+        self.config = config or DetectorConfig()
+        if self.config.required_samples < 1:
+            raise ValueError("required_samples must be >= 1")
+        if self.config.window <= 0:
+            raise ValueError("window must be positive")
+        self._high_times: Deque[float] = deque()
+        self._last_detection: Optional[float] = None
+        self.on_detection: List[Callable[[float], None]] = []
+        # Statistics
+        self.samples_seen = 0
+        self.high_samples = 0
+        self.detections = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, sample: CsiSample) -> bool:
+        """Feed one CSI sample; returns True if a detection fired."""
+        self.samples_seen += 1
+        config = self.config
+        if sample.deviation < config.fluctuation_threshold:
+            return False
+        self.high_samples += 1
+        now = sample.time
+        self._high_times.append(now)
+        horizon = now - config.window
+        while self._high_times and self._high_times[0] < horizon:
+            self._high_times.popleft()
+        if len(self._high_times) < config.required_samples:
+            return False
+        if (
+            self._last_detection is not None
+            and now - self._last_detection < config.refractory
+        ):
+            return False
+        self._last_detection = now
+        self.detections += 1
+        for callback in self.on_detection:
+            callback(now)
+        return True
+
+    def reset(self) -> None:
+        """Clear window state (e.g. when a white space starts)."""
+        self._high_times.clear()
+
+    @property
+    def last_detection(self) -> Optional[float]:
+        return self._last_detection

@@ -1,0 +1,101 @@
+"""PowerMap auto-negotiation (Sec. VII-A's "negotiate in advance").
+
+The paper's ZigBee node negotiates a signaling power with each Wi-Fi device
+before normal operation, using ZigFi's method, and stores the result in the
+PowerMap.  We reproduce the negotiation with the quantities a real node can
+obtain:
+
+1. **listen** — sample RSSI while the Wi-Fi device transmits and take the
+   strongest readings: that is the Wi-Fi sender's power as received at the
+   ZigBee node (`rx_wifi_dbm`);
+2. **invert the link** — by reciprocity, a ZigBee transmission at power `p`
+   arrives at the Wi-Fi sender at roughly
+   ``p + (rx_wifi_dbm - wifi_tx_power_dbm)`` (the path loss is symmetric;
+   the Wi-Fi transmit power is known from its beacons / regulatory class);
+3. **pick** — the strongest CC2420 power whose predicted level at the Wi-Fi
+   sender stays safely below the effective CCA energy-detection threshold
+   (:func:`~repro.core.powermap.negotiate_power`).
+
+This turns the location-specific powers of the paper's footnote 3 (0, 0,
+-1, -3 dBm at A-D) from magic constants into measured outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..devices.zigbee_device import ZigbeeDevice
+from .powermap import PowerMap, negotiate_power
+
+
+@dataclass
+class NegotiationResult:
+    """Outcome of one negotiation against one Wi-Fi transmitter."""
+
+    device_id: str
+    rx_wifi_dbm: float  # Wi-Fi power received at the ZigBee node
+    predicted_rx_at_sender_dbm: float  # ZigBee 0 dBm as seen by the Wi-Fi sender
+    chosen_power_dbm: float
+
+
+class PowerNegotiator:
+    """Measures the Wi-Fi link and fills a PowerMap."""
+
+    def __init__(
+        self,
+        device: ZigbeeDevice,
+        wifi_tx_power_dbm: float = 20.0,
+        wifi_cca_threshold_dbm: float = -50.0,
+        margin_db: float = 2.0,
+        listen_duration: float = 20e-3,
+        listen_rate_hz: float = 10e3,
+    ):
+        self.device = device
+        self.wifi_tx_power_dbm = wifi_tx_power_dbm
+        self.wifi_cca_threshold_dbm = wifi_cca_threshold_dbm
+        self.margin_db = margin_db
+        self.listen_duration = listen_duration
+        self.listen_rate_hz = listen_rate_hz
+
+    def negotiate(
+        self,
+        device_id: str,
+        powermap: PowerMap,
+        on_done: Optional[Callable[[NegotiationResult], None]] = None,
+    ) -> None:
+        """Listen to the channel, pick a power, store it in ``powermap``.
+
+        Asynchronous: schedules an RSSI capture and completes via
+        ``on_done``.  Must run while the target Wi-Fi device is transmitting
+        (its traffic is what gets measured).
+        """
+
+        def _on_trace(trace) -> None:
+            # Keep only busy samples, then take their 60th percentile: data
+            # frames from the *sender* dominate the busy airtime, so this
+            # estimates the sender's level even when a nearby Wi-Fi
+            # *receiver*'s (stronger but rarer) ACKs pollute the trace.
+            samples = np.asarray(trace.samples_dbm, dtype=float)
+            floor = self.device.radio.noise_floor_dbm
+            busy = samples[samples > floor + 10.0]
+            if len(busy) == 0:
+                busy = samples  # nothing heard; negotiation falls to full power
+            rx_wifi = float(np.percentile(busy, 60.0))
+            # In-band RSSI catches ~1/10 of the 20 MHz Wi-Fi power (2/20 MHz
+            # overlap); undo that to estimate the full-band path.
+            rx_wifi_fullband = rx_wifi + 10.0
+            path_loss_db = self.wifi_tx_power_dbm - rx_wifi_fullband
+            predicted = 0.0 - path_loss_db  # ZigBee at 0 dBm seen by the sender
+            power = negotiate_power(
+                rx_power_at_wifi_sender_dbm=predicted,
+                wifi_cca_threshold_dbm=self.wifi_cca_threshold_dbm,
+                margin_db=self.margin_db,
+            )
+            powermap.set(device_id, power)
+            if on_done is not None:
+                on_done(NegotiationResult(device_id, rx_wifi, predicted, power))
+
+        self.device.rssi.capture(self.listen_duration, self.listen_rate_hz, _on_trace)

@@ -1,0 +1,254 @@
+"""BiCord's ZigBee side: burst delivery driven by cross-technology signaling.
+
+The node owns a :class:`~repro.devices.zigbee_device.ZigbeeDevice` and drives
+the paper's sender loop (Fig. 2 / Fig. 5):
+
+1. application bursts queue data packets;
+2. the node attempts a packet through normal CSMA/CA;
+3. on failure (busy channel or missing ACK) it runs CTI detection — is this
+   Wi-Fi? — and, if so, transmits a 120 B *control packet* at the PowerMap
+   power, deliberately overlapping the Wi-Fi traffic (forced, no CCA);
+4. after each control packet it retries the data packet; once the Wi-Fi
+   device has granted a white space the retry sails through and the burst
+   drains with application pacing (``T_i``) until the white space ends, at
+   which point the next failure re-triggers signaling — the next *round*;
+5. if ``max_control_packets`` go unanswered, the Wi-Fi device is ignoring
+   the request (e.g. high-priority traffic): back off and retry the salvo.
+
+The MAC retry budget is reduced to 1 because BiCord's signaling loop *is*
+the retransmission mechanism under CTI.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..devices.base import RxInfo
+from ..devices.zigbee_device import ZigbeeDevice
+from ..mac.frames import Frame, zigbee_control_frame, zigbee_data_frame
+from ..mac.zigbee import CHANNEL_ACCESS_FAILURE
+from ..phy.medium import Technology
+from ..traffic.generators import Burst
+from .config import BicordConfig
+from .powermap import PowerMap
+
+
+class BicordNode:
+    """ZigBee-side BiCord agent (the sender of the protected link)."""
+
+    def __init__(
+        self,
+        device: ZigbeeDevice,
+        receiver: str,
+        config: Optional[BicordConfig] = None,
+        powermap: Optional[PowerMap] = None,
+        wifi_check: Optional[Callable[[], bool]] = None,
+        interferer_id: Optional[Callable[[], Optional[str]]] = None,
+    ):
+        self.device = device
+        self.receiver = receiver
+        self.sim = device.ctx.sim
+        self.trace = device.ctx.trace
+        self.config = config or BicordConfig()
+        self.powermap = powermap or PowerMap(
+            default_power_dbm=self.config.signaling.default_power_dbm
+        )
+        #: Override for the CTI check (tests, classifier integration); the
+        #: default is the fast in-band Wi-Fi energy check.
+        self.wifi_check = wifi_check
+        #: Returns the identity of the interfering Wi-Fi transmitter, used to
+        #: pick the PowerMap entry (fingerprinting integration point).
+        self.interferer_id = interferer_id
+
+        mac = device.mac
+        mac.max_frame_retries = 1
+        mac.max_csma_backoffs = 2  # fail fast; the signaling loop recovers
+        mac.on_send_success = self._on_send_success
+        mac.on_send_failure = self._on_send_failure
+
+        self._pending: Deque[Tuple[int, float, int]] = deque()  # (bytes, t0, burst)
+        self._seq = 0
+        self._inflight: Optional[Frame] = None
+        self._salvo_count = 0
+        self._outstanding_by_burst = {}
+        self._burst_created = {}
+
+        # Statistics
+        self.packet_delays: List[float] = []
+        self.packets_delivered = 0
+        self.delivered_payload_bytes = 0
+        self.control_packets_sent = 0
+        self.piggyback_deliveries = 0
+        self.signaling_salvos = 0
+        self.salvos_abandoned = 0
+        self.bursts_completed = 0
+        self.burst_latencies: List[float] = []
+        self.non_wifi_failures = 0
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def offer_burst(self, burst: Burst) -> None:
+        """Queue one application burst for delivery."""
+        was_idle = not self._pending and self._inflight is None
+        for _ in range(burst.n_packets):
+            self._pending.append((burst.payload_bytes, burst.created_at, burst.burst_id))
+        self._outstanding_by_burst[burst.burst_id] = burst.n_packets
+        self._burst_created[burst.burst_id] = burst.created_at
+        self.trace.record(
+            self.sim.now, "bicord.burst_offered", node=self.device.name,
+            burst=burst.burst_id, packets=burst.n_packets,
+        )
+        if was_idle:
+            self._send_next()
+
+    @property
+    def outstanding_packets(self) -> int:
+        # The in-flight frame is still at the head of the queue (it is only
+        # popped on success), so the queue length alone is the right count.
+        return len(self._pending)
+
+    @property
+    def idle(self) -> bool:
+        return self.outstanding_packets == 0
+
+    # ------------------------------------------------------------------
+    # Delivery loop
+    # ------------------------------------------------------------------
+    def _send_next(self) -> None:
+        if self._inflight is not None or not self._pending:
+            return
+        payload, created_at, burst_id = self._pending[0]
+        self._seq += 1
+        frame = zigbee_data_frame(
+            self.device.name, self.receiver, payload, created_at=created_at,
+            burst_id=burst_id,
+        )
+        frame.seq = self._seq
+        self._inflight = frame
+        self.device.mac.send(frame)
+
+    def _on_send_success(self, frame: Frame) -> None:
+        if frame.meta.get("piggyback"):
+            # A piggybacked control packet was acknowledged: the signaling
+            # round succeeded AND delivered the head-of-line packet.
+            self.piggyback_deliveries += 1
+            self._account_delivery(frame)
+            return
+        if frame is not self._inflight:
+            return
+        self._account_delivery(frame)
+
+    def _account_delivery(self, frame: Frame) -> None:
+        self._inflight = None
+        self._pending.popleft()
+        self._salvo_count = 0
+        delay = self.sim.now - frame.created_at
+        self.packet_delays.append(delay)
+        self.packets_delivered += 1
+        payload = frame.meta.get("piggyback_payload", frame.payload_bytes)
+        self.delivered_payload_bytes += payload
+        burst_id = frame.meta.get("burst_id")
+        if burst_id is not None:
+            remaining = self._outstanding_by_burst.get(burst_id, 0) - 1
+            self._outstanding_by_burst[burst_id] = remaining
+            if remaining == 0:
+                self.bursts_completed += 1
+                self.burst_latencies.append(
+                    self.sim.now - self._burst_created.pop(burst_id)
+                )
+        if self._pending:
+            # Application pacing between packets of a burst (T_i).
+            self.sim.schedule(self.config.signaling.inter_packet_gap, self._send_next)
+
+    def _on_send_failure(self, frame: Frame, reason: str) -> None:
+        if frame.meta.get("piggyback"):
+            # The piggybacked control packet went unanswered: keep signaling
+            # (the control transmission itself may still have been detected).
+            self.sim.schedule(
+                self.config.signaling.control_packet_gap, self._retry_inflight
+            )
+            return
+        if frame is not self._inflight:
+            return
+        self.trace.record(
+            self.sim.now, "bicord.data_failure", node=self.device.name,
+            reason=reason, seq=frame.seq,
+        )
+        if self._wifi_present():
+            self._signal_then_retry()
+        else:
+            # Not Wi-Fi (e.g. Bluetooth / microwave): signaling is pointless;
+            # plain randomized retry.
+            self.non_wifi_failures += 1
+            self.sim.schedule(self.config.signaling.retry_backoff, self._retry_inflight)
+
+    # ------------------------------------------------------------------
+    # CTI detection and signaling
+    # ------------------------------------------------------------------
+    def _wifi_present(self) -> bool:
+        if self.wifi_check is not None:
+            return self.wifi_check()
+        energy = self.device.radio.energy_dbm_of({Technology.WIFI})
+        floor = self.device.radio.noise_floor_dbm
+        return energy >= floor + self.config.signaling.wifi_energy_margin_db
+
+    def _signal_then_retry(self) -> None:
+        signaling = self.config.signaling
+        if self._salvo_count >= signaling.max_control_packets:
+            # The Wi-Fi device is ignoring us (Sec. V: threshold exceeded).
+            self._salvo_count = 0
+            self.salvos_abandoned += 1
+            self.trace.record(
+                self.sim.now, "bicord.salvo_abandoned", node=self.device.name
+            )
+            self.sim.schedule(signaling.retry_backoff, self._retry_inflight)
+            return
+        if self._salvo_count == 0:
+            self.signaling_salvos += 1
+        self._salvo_count += 1
+        device_id = self.interferer_id() if self.interferer_id is not None else None
+        power = self.powermap.get(device_id)
+        control = zigbee_control_frame(self.device.name, signaling.control_packet_bytes)
+        self.control_packets_sent += 1
+        self.trace.record(
+            self.sim.now, "bicord.control_tx", node=self.device.name,
+            power_dbm=power, salvo=self._salvo_count,
+        )
+        head = self._pending[0] if self._pending else None
+        max_payload = signaling.control_packet_bytes - 11  # MAC overhead
+        if (
+            signaling.piggyback_data
+            and head is not None
+            and head[0] <= max_payload
+            and self.device.mac._current is None
+        ):
+            # Future-work extension: address the control packet to the
+            # receiver and let it double as the head-of-line data packet.
+            payload, created_at, burst_id = head
+            control.destination = self.receiver
+            self._seq += 1
+            control.seq = self._seq
+            control.created_at = created_at
+            control.meta.update(
+                piggyback=True, piggyback_payload=payload, burst_id=burst_id
+            )
+            self.device.mac.send_immediate(control, power_dbm=power)
+            return
+        control.meta["on_complete"] = self._control_packet_done
+        self.device.mac.send_forced(control, power_dbm=power)
+
+    def _control_packet_done(self, _frame: Frame) -> None:
+        # Give the Wi-Fi side one CSI inter-sample period to react, then
+        # retry the data packet; if the channel is still owned by Wi-Fi the
+        # retry fails fast and the next control packet goes out.
+        self.sim.schedule(self.config.signaling.control_packet_gap, self._retry_inflight)
+
+    def _retry_inflight(self) -> None:
+        frame = self._inflight
+        if frame is None:
+            return
+        if self.device.mac.busy and self.device.mac._current is not None:
+            return  # a retry is already queued at the MAC
+        self.device.mac.send(frame)

@@ -1,0 +1,72 @@
+"""PowerMap: per-Wi-Fi-device control-packet transmission power (Sec. VII-A).
+
+The signaling power is a two-sided compromise:
+
+* too *low* and the Wi-Fi receiver's CSI barely flinches — the request is
+  missed (locations far from the Wi-Fi receiver need full power);
+* too *high* and the Wi-Fi **sender**'s CCA energy detection trips, so Wi-Fi
+  defers instead of decoding a request — signaling fails differently
+  (location C peaks at -1 dBm, location D needs -3 dBm in the paper).
+
+The paper negotiates the power per Wi-Fi device in advance (using ZigFi's
+method) and stores it in a PowerMap keyed by device identity.  We provide
+the map plus a model-driven negotiation helper that picks, from a candidate
+power list, the highest power that keeps the *predicted* CCA-trip
+probability at the Wi-Fi sender under a budget — the same trade-off, driven
+by the link budget instead of an online trial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: CC2420 selectable output powers, dBm.
+CANDIDATE_POWERS_DBM = [0.0, -1.0, -3.0, -5.0, -7.0, -10.0, -15.0, -25.0]
+
+
+@dataclass
+class PowerMap:
+    """Maps a Wi-Fi transmitter identity to a signaling power."""
+
+    default_power_dbm: float = 0.0
+    _entries: Dict[str, float] = field(default_factory=dict)
+
+    def set(self, device_id: str, power_dbm: float) -> None:
+        self._entries[device_id] = power_dbm
+
+    def get(self, device_id: Optional[str]) -> float:
+        if device_id is None:
+            return self.default_power_dbm
+        return self._entries.get(device_id, self.default_power_dbm)
+
+    def known_devices(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, device_id: str) -> bool:
+        return device_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def negotiate_power(
+    rx_power_at_wifi_sender_dbm: float,
+    wifi_cca_threshold_dbm: float,
+    candidates: Sequence[float] = tuple(CANDIDATE_POWERS_DBM),
+    margin_db: float = 2.0,
+) -> float:
+    """Pick the strongest candidate that stays under the Wi-Fi sender's CCA.
+
+    ``rx_power_at_wifi_sender_dbm`` is the power the Wi-Fi *sender* would
+    receive from the ZigBee node transmitting at 0 dBm (measurable during the
+    ZigFi-style negotiation handshake).  A candidate power ``p`` reaches the
+    sender at ``rx + p``; it is safe when that stays ``margin_db`` below the
+    effective CCA threshold.  If even the weakest candidate trips CCA the
+    weakest one is returned (the node is simply too close).
+    """
+    ordered = sorted(candidates, reverse=True)
+    for power in ordered:
+        if rx_power_at_wifi_sender_dbm + power <= wifi_cca_threshold_dbm - margin_db:
+            return power
+    return ordered[-1]

@@ -1,0 +1,169 @@
+"""Adaptive white-space allocation (Sec. VI).
+
+A pure state machine, independent of the simulator, implementing the paper's
+two phases:
+
+**Learning phase.**  The Wi-Fi device grants its current white space length
+(initially a short step of 30/40 ms) each time the ZigBee node requests the
+channel.  It counts how many consecutive grants (*rounds*) one ZigBee burst
+needs; a burst ends when no ZigBee signal appears for ``end_silence`` after
+Wi-Fi resumes.  After a burst of ``N_round`` rounds the burst length is
+estimated conservatively as::
+
+    T_estimation = (T_w - 2 * T_c) * N_round          (paper, Sec. VI)
+
+and the next grants use ``T_estimation``.  This repeats — the white space
+grows monotonically across bursts (Fig. 7) — until a whole burst completes
+within a single grant, at which point the allocator is *converged* and keeps
+granting a white space "long enough for ZigBee transmissions".
+
+**Adjustment phase.**  If the ZigBee traffic grows, bursts again span more
+than one round and the same update rule stretches the white space.  If the
+traffic shrinks, Wi-Fi cannot notice (the white space is simply underused),
+so an expiring timer (10 s) restarts the learning phase from the initial
+step — exactly the paper's re-estimation mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+from .config import AllocatorConfig
+
+
+class AllocatorPhase(Enum):
+    LEARNING = "learning"
+    CONVERGED = "converged"
+
+
+@dataclass(frozen=True)
+class GrantRecord:
+    """One granted white space (history feeds Fig. 7 / Fig. 9)."""
+
+    time: float
+    duration: float
+    phase: AllocatorPhase
+    round_in_burst: int
+
+
+@dataclass
+class BurstEstimate:
+    """Outcome of one observed burst."""
+
+    time: float
+    n_rounds: int
+    whitespace: float
+    estimation: float
+
+
+class AdaptiveWhitespaceAllocator:
+    """Implements the learning / adjustment phases of Sec. VI."""
+
+    def __init__(self, config: Optional[AllocatorConfig] = None):
+        self.config = config or AllocatorConfig()
+        margin = (
+            self.config.estimation_margin_control_packets
+            * self.config.control_packet_time
+        )
+        if self.config.initial_whitespace <= margin:
+            raise ValueError(
+                "initial_whitespace must exceed the estimation margin "
+                "(estimation_margin_control_packets * control_packet_time), "
+                "otherwise the conservative estimate collapses to zero"
+            )
+        self.phase = AllocatorPhase.LEARNING
+        self.current_whitespace = self.config.initial_whitespace
+        self._rounds_in_burst = 0
+        self._anomalous_bursts = 0  # consecutive multi-round bursts while converged
+        self.grants: List[GrantRecord] = []
+        self.estimates: List[BurstEstimate] = []
+        self.bursts_observed = 0
+        self.learning_iterations = 0
+
+    # ------------------------------------------------------------------
+    def grant(self, now: float) -> float:
+        """The ZigBee node requested the channel: return the grant length."""
+        self._rounds_in_burst += 1
+        duration = self._clamped(self.current_whitespace)
+        self.grants.append(
+            GrantRecord(now, duration, self.phase, self._rounds_in_burst)
+        )
+        return duration
+
+    def on_burst_end(self, now: float) -> Optional[BurstEstimate]:
+        """No ZigBee signal for ``end_silence`` after resuming: burst over.
+
+        Returns the new estimate if the learning rule updated the white
+        space, else None.
+        """
+        n_rounds = self._rounds_in_burst
+        self._rounds_in_burst = 0
+        if n_rounds == 0:
+            return None
+        self.bursts_observed += 1
+        if n_rounds == 1:
+            # The whole burst fit in one white space: T_estimation covers the
+            # burst; stop stretching (Sec. VI, end of learning phase).
+            self.phase = AllocatorPhase.CONVERGED
+            self._anomalous_bursts = 0
+            return None
+        if self.phase is AllocatorPhase.CONVERGED:
+            # A multi-round burst after convergence is a *candidate* pattern
+            # change; require it to repeat before re-entering learning, since
+            # back-to-back application bursts look identical to one long one.
+            self._anomalous_bursts += 1
+            if self._anomalous_bursts < self.config.growth_debounce:
+                return None
+            self._anomalous_bursts = 0
+        margin = (
+            self.config.estimation_margin_control_packets
+            * self.config.control_packet_time
+        )
+        estimation = (self.current_whitespace - margin) * n_rounds
+        # The white space only grows during learning (Fig. 7): a multi-round
+        # burst proves the current grant is too short.  Two guards keep the
+        # update well-behaved: grow by at least T_c per multi-round burst
+        # (the conservative estimate can undershoot the current grant, and
+        # learning must terminate), and by at most 2x per burst (back-to-back
+        # application bursts are indistinguishable from one long burst and
+        # would otherwise compound the estimate explosively).
+        new_whitespace = self._clamped(
+            max(
+                min(estimation, 2.0 * self.current_whitespace),
+                self.current_whitespace + self.config.control_packet_time,
+            )
+        )
+        estimate = BurstEstimate(now, n_rounds, new_whitespace, estimation)
+        self.estimates.append(estimate)
+        self.current_whitespace = new_whitespace
+        self.phase = AllocatorPhase.LEARNING
+        self.learning_iterations += 1
+        return estimate
+
+    def on_reestimation_timer(self, now: float) -> None:
+        """Expiring timer (10 s): forget the estimate, re-learn from the step.
+
+        Catches traffic patterns that became *shorter*, which the grant/round
+        mechanism cannot observe (Sec. VI, white space adjustment).
+        """
+        self.current_whitespace = self.config.initial_whitespace
+        self.phase = AllocatorPhase.LEARNING
+        self._rounds_in_burst = 0
+
+    # ------------------------------------------------------------------
+    def _clamped(self, value: float) -> float:
+        return min(max(value, self.config.min_whitespace), self.config.max_whitespace)
+
+    @property
+    def converged(self) -> bool:
+        return self.phase is AllocatorPhase.CONVERGED
+
+    @property
+    def rounds_in_current_burst(self) -> int:
+        return self._rounds_in_burst
+
+    def whitespace_trajectory(self) -> List[float]:
+        """Granted lengths in order — the Fig. 7 series."""
+        return [g.duration for g in self.grants]

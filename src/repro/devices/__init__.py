@@ -1,0 +1,22 @@
+"""Device models: radios, Wi-Fi appliances, ZigBee nodes, interferers."""
+
+from .base import Device, Radio, RxInfo
+from .energy import RX_CURRENT_MA, SUPPLY_VOLTAGE, EnergyMeter, tx_current_ma
+from .interferers import BluetoothLink, Emitter, MicrowaveOven
+from .wifi_device import WifiDevice
+from .zigbee_device import ZigbeeDevice
+
+__all__ = [
+    "Device",
+    "Radio",
+    "RxInfo",
+    "RX_CURRENT_MA",
+    "SUPPLY_VOLTAGE",
+    "EnergyMeter",
+    "tx_current_ma",
+    "BluetoothLink",
+    "Emitter",
+    "MicrowaveOven",
+    "WifiDevice",
+    "ZigbeeDevice",
+]

@@ -1,0 +1,130 @@
+"""Non-protocol interference sources: Bluetooth links and microwave ovens.
+
+These devices never decode anything in our scenarios; what matters is the
+energy signature they leave on a ZigBee node's RSSI trace (Sec. VII-A uses a
+Bluetooth headset playing music and mentions microwave ovens) and the
+interference power they contribute to receptions.
+
+They are implemented as *emitters* — lightweight sources with a name and a
+position that put transmissions on the medium without owning a full radio.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..context import SimContext
+from ..phy.medium import Technology, Transmission
+from ..phy.modulation import ble_frame_duration
+from ..phy.propagation import Position
+from ..phy.spectrum import MICROWAVE_BAND, Band, ble_channel
+from ..sim.process import Process
+
+
+class Emitter:
+    """A transmit-only RF source (no receive path, no MAC)."""
+
+    def __init__(self, ctx: SimContext, name: str, position: Position):
+        self.ctx = ctx
+        self.name = name
+        self.position = position
+        self.emissions = 0
+        self.airtime = 0.0
+
+    def emit(self, duration: float, power_dbm: float, band: Band, technology: Technology) -> Transmission:
+        self.emissions += 1
+        self.airtime += duration
+        return self.ctx.medium.transmit(self, duration, power_dbm, band, technology)
+
+    def on_own_transmission_end(self, tx: Transmission) -> None:  # medium hook
+        pass
+
+
+class BluetoothLink(Emitter):
+    """A Bluetooth audio link hopping over the 2.4 GHz band.
+
+    Models the RSSI-visible behaviour of an A2DP stream: packets every
+    ``slot_interval`` (default 3.75 ms — a 2-DH5-ish cadence), each on a
+    pseudo-random hop channel, so only ~1/40 of them land near any particular
+    ZigBee channel.  On a 5 ms RSSI trace this looks like rare, short energy
+    pulses — very different from both Wi-Fi and ZigBee.
+    """
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        name: str,
+        position: Position,
+        power_dbm: float = 4.0,
+        packet_bytes: int = 120,
+        slot_interval: float = 3.75e-3,
+        jitter: float = 0.3e-3,
+    ):
+        super().__init__(ctx, name, position)
+        self.power_dbm = power_dbm
+        self.packet_bytes = packet_bytes
+        self.slot_interval = slot_interval
+        self.jitter = jitter
+        self._rng = ctx.streams.stream(f"ble/{name}")
+        self._process: Optional[Process] = None
+
+    def start(self) -> None:
+        if self._process is not None:
+            raise RuntimeError(f"{self.name} already started")
+        self._process = Process(self.ctx.sim, self._run(), name=f"ble/{self.name}")
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    def _run(self):
+        duration = ble_frame_duration(self.packet_bytes)
+        while True:
+            hop = int(self._rng.integers(0, 40))
+            self.emit(duration, self.power_dbm, ble_channel(hop), Technology.BLE)
+            delay = self.slot_interval + float(self._rng.uniform(0.0, self.jitter))
+            yield max(delay, duration)
+
+
+class MicrowaveOven(Emitter):
+    """A microwave oven: wideband noise gated at the mains half-cycle.
+
+    The magnetron radiates for roughly half of each 20 ms mains cycle (50 Hz
+    grid), sweeping a wide chunk of the ISM band.  On an RSSI trace this is a
+    long, continuous plateau — longer on-air time than any packetized
+    technology.
+    """
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        name: str,
+        position: Position,
+        power_dbm: float = 30.0,
+        mains_hz: float = 50.0,
+        duty: float = 0.5,
+    ):
+        super().__init__(ctx, name, position)
+        self.power_dbm = power_dbm
+        self.period = 1.0 / mains_hz
+        self.duty = duty
+        self._rng = ctx.streams.stream(f"microwave/{name}")
+        self._process: Optional[Process] = None
+
+    def start(self) -> None:
+        if self._process is not None:
+            raise RuntimeError(f"{self.name} already started")
+        self._process = Process(self.ctx.sim, self._run(), name=f"microwave/{self.name}")
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    def _run(self):
+        while True:
+            on_time = self.period * self.duty * float(self._rng.uniform(0.9, 1.1))
+            power = self.power_dbm + float(self._rng.normal(0.0, 1.5))
+            self.emit(on_time, power, MICROWAVE_BAND, Technology.MICROWAVE)
+            yield self.period

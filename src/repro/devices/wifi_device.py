@@ -1,0 +1,61 @@
+"""A Wi-Fi appliance: radio + DCF MAC (+ optional CSI observer)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..context import SimContext
+from ..phy.csi import CsiModel, CsiObserver
+from ..phy.medium import Technology
+from ..phy.propagation import Position
+from ..phy.spectrum import wifi_channel
+from .base import Device, Radio
+
+
+class WifiDevice(Device):
+    """An 802.11g station.
+
+    ``with_csi=True`` attaches a :class:`~repro.phy.csi.CsiObserver` — the
+    paper installs the CSI extractor on the *receiver* of the Wi-Fi link,
+    which is also where BiCord's detector runs.
+    """
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        name: str,
+        position: Position,
+        channel: int = 11,
+        tx_power_dbm: float = 20.0,
+        data_rate_mbps: float = 24.0,
+        with_csi: bool = False,
+        csi_model: Optional[CsiModel] = None,
+        nonwifi_ed_penalty_db: float = 20.0,
+    ):
+        from ..mac.wifi import WifiMac  # local import to avoid cycle at module load
+
+        radio = Radio(
+            name=name,
+            position=position,
+            band=wifi_channel(channel),
+            technology=Technology.WIFI,
+            sim=ctx.sim,
+            streams=ctx.streams,
+            trace=ctx.trace,
+            sensitivity_dbm=-90.0,
+            noise_figure_db=7.0,
+        )
+        ctx.medium.attach(radio)
+        super().__init__(name, radio)
+        self.ctx = ctx
+        self.mac = WifiMac(
+            radio,
+            ctx.sim,
+            trace=ctx.trace,
+            data_rate_mbps=data_rate_mbps,
+            tx_power_dbm=tx_power_dbm,
+            nonwifi_ed_penalty_db=nonwifi_ed_penalty_db,
+        )
+        self.csi: Optional[CsiObserver] = None
+        if with_csi:
+            self.csi = CsiObserver(self.mac, ctx.sim, ctx.streams, model=csi_model)

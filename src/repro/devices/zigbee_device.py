@@ -1,0 +1,44 @@
+"""A ZigBee node: radio + 802.15.4 MAC + RSSI sampler + energy meter."""
+
+from __future__ import annotations
+
+from ..context import SimContext
+from ..phy.medium import Technology
+from ..phy.propagation import Position
+from ..phy.rssi import RssiSampler
+from ..phy.spectrum import zigbee_channel
+from .base import Device, Radio
+from .energy import EnergyMeter
+
+
+class ZigbeeDevice(Device):
+    """An 802.15.4 node (TelosB-class)."""
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        name: str,
+        position: Position,
+        channel: int = 24,
+        tx_power_dbm: float = 0.0,
+    ):
+        from ..mac.zigbee import ZigbeeMac  # local import to avoid cycle at module load
+
+        radio = Radio(
+            name=name,
+            position=position,
+            band=zigbee_channel(channel),
+            technology=Technology.ZIGBEE,
+            sim=ctx.sim,
+            streams=ctx.streams,
+            trace=ctx.trace,
+            sensitivity_dbm=-95.0,
+            noise_figure_db=5.0,
+        )
+        ctx.medium.attach(radio)
+        super().__init__(name, radio)
+        self.ctx = ctx
+        self.mac = ZigbeeMac(radio, ctx.sim, trace=ctx.trace, tx_power_dbm=tx_power_dbm)
+        self.rssi = RssiSampler(radio, ctx.sim, ctx.streams)
+        self.energy = EnergyMeter()
+        radio.energy_meter = self.energy

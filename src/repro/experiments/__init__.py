@@ -1,0 +1,75 @@
+"""Experiment harness: topology, metrics, and per-figure runners."""
+
+from .ble_extension import BleCoexistenceResult, run_ble_coexistence
+from .cti_dataset import (
+    CtiAccuracyResult,
+    CtiDataset,
+    DeviceIdResult,
+    build_cti_dataset,
+    collect_traces,
+    run_cti_accuracy,
+    run_device_identification,
+)
+from .metrics import (
+    AirtimeProbe,
+    CoexistenceResult,
+    PrecisionRecall,
+    UtilizationSnapshot,
+    aggregate,
+)
+from .reporting import format_series, format_table
+from .runner import (
+    CoexistenceConfig,
+    EnergyResult,
+    LearningTrialResult,
+    PriorityResult,
+    SignalingTrialResult,
+    run_coexistence,
+    run_energy_trial,
+    run_learning_trial,
+    run_priority_experiment,
+    run_signaling_trial,
+)
+from .topology import (
+    Calibration,
+    LOCATIONS,
+    LOCATION_POWERS_DBM,
+    Office,
+    build_office,
+    location_powermap,
+)
+
+__all__ = [
+    "BleCoexistenceResult",
+    "run_ble_coexistence",
+    "CtiAccuracyResult",
+    "CtiDataset",
+    "DeviceIdResult",
+    "build_cti_dataset",
+    "collect_traces",
+    "run_cti_accuracy",
+    "run_device_identification",
+    "AirtimeProbe",
+    "CoexistenceResult",
+    "PrecisionRecall",
+    "UtilizationSnapshot",
+    "aggregate",
+    "format_series",
+    "format_table",
+    "CoexistenceConfig",
+    "EnergyResult",
+    "LearningTrialResult",
+    "PriorityResult",
+    "SignalingTrialResult",
+    "run_coexistence",
+    "run_energy_trial",
+    "run_learning_trial",
+    "run_priority_experiment",
+    "run_signaling_trial",
+    "Calibration",
+    "LOCATIONS",
+    "LOCATION_POWERS_DBM",
+    "Office",
+    "build_office",
+    "location_powermap",
+]

@@ -1,0 +1,106 @@
+"""Terminal-friendly figures: sparklines, bar charts, interval timelines.
+
+The benchmarks print paper-style tables; these helpers add quick visual
+shape checks (e.g. the Fig. 7 learning staircase) without any plotting
+dependency.  Everything renders to plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of ``values`` (empty string for no data)."""
+    values = list(values)
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    chars = []
+    for value in values:
+        index = int((value - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return ""
+    peak = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "█" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)}  {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def timeline(
+    intervals: Iterable[Tuple[float, float]],
+    start: float,
+    end: float,
+    width: int = 80,
+    mark: str = "#",
+    gap: str = ".",
+) -> str:
+    """Render busy ``intervals`` within [start, end] as a character strip.
+
+    Useful for eyeballing white-space placement: pass the granted intervals
+    and see where they sit in the run.
+    """
+    if end <= start:
+        raise ValueError("end must be after start")
+    cells = [gap] * width
+    span = end - start
+    for lo, hi in intervals:
+        lo = max(lo, start)
+        hi = min(hi, end)
+        if hi <= lo:
+            continue
+        first = int((lo - start) / span * width)
+        last = int((hi - start) / span * width)
+        for i in range(first, min(last + 1, width)):
+            cells[i] = mark
+    return "".join(cells)
+
+
+def histogram(
+    values: Sequence[float],
+    n_bins: int = 10,
+    width: int = 40,
+) -> str:
+    """Text histogram with counts per bin."""
+    values = list(values)
+    if not values:
+        return "(no data)"
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        return f"[{lo:.4g}] x{len(values)}"
+    bin_width = (hi - lo) / n_bins
+    counts = [0] * n_bins
+    for value in values:
+        index = min(int((value - lo) / bin_width), n_bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        left = lo + i * bin_width
+        bar = "█" * max(0, int(round(width * count / peak)))
+        lines.append(f"{left:10.4g}  {bar.ljust(width)}  {count}")
+    return "\n".join(lines)

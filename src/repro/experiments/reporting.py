@@ -1,0 +1,40 @@
+"""Plain-text tables for benchmark output (paper-style rows/series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render an aligned text table; floats formatted, others str()'d."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered: List[List[str]] = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float],
+                  y_format: str = "{:.3f}") -> str:
+    """One figure series as 'name: x=y, x=y, ...'."""
+    pairs = ", ".join(f"{x}={y_format.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

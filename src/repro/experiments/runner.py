@@ -1,0 +1,481 @@
+"""Experiment runners: one function per evaluation scenario of the paper.
+
+Each runner assembles the Fig. 6 office from :mod:`.topology`, wires the
+scheme under test (BiCord or a baseline), drives the paper's workload, and
+returns structured results.  Benchmarks and examples call these functions;
+they never poke at devices directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines import (
+    CsmaNode,
+    EccCoordinator,
+    EccNode,
+    PredictiveNode,
+    SlowCtcCoordinator,
+    SlowCtcNode,
+)
+from ..core import (
+    BicordConfig,
+    BicordCoordinator,
+    BicordNode,
+    ZigbeeSignalDetector,
+)
+from ..mac.frames import zigbee_control_frame
+from ..sim.process import Process
+from ..traffic.generators import PriorityWifiSource, WifiPacketSource, ZigbeeBurstSource
+from .metrics import AirtimeProbe, CoexistenceResult, PrecisionRecall
+from .topology import (
+    Calibration,
+    LOCATION_POWERS_DBM,
+    Office,
+    build_office,
+    location_powermap,
+)
+
+SCHEMES = ("bicord", "ecc", "csma", "predictive", "slow-ctc")
+
+
+# ======================================================================
+# Cross-technology signaling quality (Tables I and II)
+# ======================================================================
+@dataclass
+class SignalingTrialResult:
+    location: str
+    power_dbm: float
+    n_control_packets: int
+    pr: PrecisionRecall
+    wifi_prr: float  # Wi-Fi packet reception ratio during the trial
+
+
+def run_signaling_trial(
+    location: str = "A",
+    power_dbm: float = 0.0,
+    n_control_packets: int = 4,
+    n_salvos: int = 200,
+    salvo_gap: float = 16e-3,
+    seed: int = 0,
+    calibration: Optional[Calibration] = None,
+    detector_config=None,
+) -> SignalingTrialResult:
+    """Measure signaling precision/recall at one (location, power, count).
+
+    The ZigBee sender emits ``n_salvos`` salvos of ``n_control_packets``
+    120 B control packets (forced, overlapping Wi-Fi), separated by
+    ``salvo_gap`` of silence.  The Wi-Fi receiver runs the CSI detector; no
+    white spaces are granted (we only measure detection quality, as in
+    Sec. VIII-B).
+    """
+    office = build_office(seed=seed, location=location, calibration=calibration)
+    ctx = office.ctx
+    cal = office.calibration
+    WifiPacketSource(
+        ctx, office.wifi_sender.mac, "F",
+        payload_bytes=cal.wifi_payload_bytes, interval=cal.wifi_interval,
+    )
+    detector = ZigbeeSignalDetector(detector_config)
+    office.wifi_receiver.csi.subscribe(detector.observe)
+    detections: List[float] = []
+    detector.on_detection.append(detections.append)
+
+    windows: List[Tuple[float, float]] = []
+    zs_mac = office.zigbee_sender.mac
+    control_duration = zigbee_control_frame("ZS", 120).duration()
+
+    def salvo_driver():
+        # Let Wi-Fi traffic and the CSI baseline settle first.
+        yield 50e-3
+        for _ in range(n_salvos):
+            start = ctx.sim.now
+            for i in range(n_control_packets):
+                control = zigbee_control_frame("ZS", 120)
+                ctx.sim.schedule(
+                    i * (control_duration + 0.2e-3),
+                    zs_mac.send_forced, control, power_dbm,
+                )
+            salvo_span = n_control_packets * (control_duration + 0.2e-3)
+            # Detections may trail the salvo by one detector window.
+            windows.append((start, start + salvo_span + 5e-3))
+            yield salvo_span + salvo_gap
+
+    driver = Process(ctx.sim, salvo_driver(), name="salvo-driver")
+    horizon = 0.1 + n_salvos * (
+        n_control_packets * (control_duration + 0.5e-3) + salvo_gap
+    )
+    ctx.sim.run(until=horizon)
+    driver.stop()
+
+    tp = fp = 0
+    detected_salvos = [False] * len(windows)
+    for t in detections:
+        hit = False
+        for i, (lo, hi) in enumerate(windows):
+            if lo <= t <= hi:
+                detected_salvos[i] = True
+                hit = True
+                break
+        if hit:
+            tp += 1
+        else:
+            fp += 1
+    pr = PrecisionRecall(
+        true_positives=tp,
+        false_positives=fp,
+        salvos=len(windows),
+        salvos_detected=sum(detected_salvos),
+    )
+    sender_mac = office.wifi_sender.mac
+    sent = max(sender_mac.data_sent, 1)
+    prr = sender_mac.data_delivered / sent
+    return SignalingTrialResult(location, power_dbm, n_control_packets, pr, prr)
+
+
+# ======================================================================
+# Coexistence comparison (Figs. 10-13)
+# ======================================================================
+@dataclass
+class CoexistenceConfig:
+    """One coexistence run's parameters (defaults = Sec. VIII-D setup)."""
+
+    scheme: str = "bicord"
+    location: str = "A"
+    seed: int = 0
+    burst_packets: int = 5
+    payload_bytes: int = 50
+    burst_interval: float = 200e-3
+    poisson: bool = True
+    n_bursts: int = 40
+    signaling_power_dbm: Optional[float] = None  # None = paper's per-location
+    ecc_whitespace: float = 20e-3
+    ecc_period: float = 100e-3
+    mobility: str = "none"  # "none" | "person" | "device"
+    calibration: Calibration = field(default_factory=Calibration)
+    bicord_config: BicordConfig = field(default_factory=BicordConfig)
+    grace: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}")
+        if self.mobility not in ("none", "person", "device"):
+            raise ValueError(f"unknown mobility {self.mobility!r}")
+
+
+def _attach_person_mobility(office: Office) -> None:
+    """A walking person perturbs the Wi-Fi receiver's CSI (Sec. VIII-F)."""
+    rng = office.ctx.streams.stream("mobility/person")
+
+    def deviation(_now: float) -> float:
+        if rng.random() < 0.012:
+            return float(rng.uniform(0.3, 0.6))
+        return 0.0
+
+    office.wifi_receiver.csi.environment_deviation = deviation
+
+
+def _attach_device_mobility(office: Office) -> None:
+    """The ZigBee sender wanders within 1 m of its base (Sec. VIII-F)."""
+    base = office.zigbee_sender.position
+    rng = office.ctx.streams.stream("mobility/device")
+    radio = office.zigbee_sender.radio
+
+    def wander():
+        while True:
+            angle = float(rng.uniform(0.0, 2.0 * math.pi))
+            radius = float(rng.uniform(0.0, 1.0))
+            radio.move_to(base.moved(radius * math.cos(angle), radius * math.sin(angle)))
+            yield 0.1
+
+    Process(office.ctx.sim, wander(), name="device-mobility")
+
+
+def run_coexistence(config: CoexistenceConfig) -> CoexistenceResult:
+    """Run one coexistence scenario and report the paper's metrics."""
+    office = build_office(
+        seed=config.seed, location=config.location, calibration=config.calibration
+    )
+    ctx = office.ctx
+    cal = office.calibration
+    WifiPacketSource(
+        ctx, office.wifi_sender.mac, "F",
+        payload_bytes=cal.wifi_payload_bytes, interval=cal.wifi_interval,
+    )
+    if config.mobility == "person":
+        _attach_person_mobility(office)
+    elif config.mobility == "device":
+        _attach_device_mobility(office)
+
+    coordinator = None
+    power = (
+        config.signaling_power_dbm
+        if config.signaling_power_dbm is not None
+        else LOCATION_POWERS_DBM[config.location]
+    )
+    if config.scheme == "bicord":
+        coordinator = BicordCoordinator(office.wifi_receiver, config=config.bicord_config)
+        node = BicordNode(
+            office.zigbee_sender, "ZR", config=config.bicord_config,
+            powermap=location_powermap(config.location, default=power),
+        )
+    elif config.scheme == "ecc":
+        coordinator = EccCoordinator(
+            office.wifi_receiver,
+            whitespace=config.ecc_whitespace,
+            period=config.ecc_period,
+        )
+        node = EccNode(office.zigbee_sender, "ZR")
+        coordinator.register(node)
+    elif config.scheme == "csma":
+        node = CsmaNode(office.zigbee_sender, "ZR")
+    elif config.scheme == "slow-ctc":
+        coordinator = SlowCtcCoordinator(office.wifi_receiver, config=config.bicord_config)
+        node = SlowCtcNode(
+            office.zigbee_sender, "ZR", coordinator, config=config.bicord_config
+        )
+    else:  # predictive
+        node = PredictiveNode(office.zigbee_sender, "ZR")
+
+    source = ZigbeeBurstSource(
+        ctx, node.offer_burst,
+        n_packets=config.burst_packets, payload_bytes=config.payload_bytes,
+        interval_mean=config.burst_interval, poisson=config.poisson,
+        max_bursts=config.n_bursts,
+    )
+    probe = AirtimeProbe(
+        wifi_radios=[office.wifi_sender.radio, office.wifi_receiver.radio],
+        zigbee_radios=[office.zigbee_sender.radio, office.zigbee_receiver.radio],
+    )
+    probe.start(0.0)
+    horizon = config.n_bursts * config.burst_interval
+    ctx.sim.run(until=horizon)
+    # Grace period: let in-flight packets finish (delays count, airtime too).
+    deadline = horizon + config.grace
+    while node.outstanding_packets and ctx.sim.now < deadline:
+        ctx.sim.run(until=min(ctx.sim.now + 50e-3, deadline))
+    duration = ctx.sim.now
+    snapshot = probe.snapshot(duration)
+
+    result = CoexistenceResult(
+        scheme=config.scheme,
+        location=config.location,
+        duration=duration,
+        utilization=snapshot,
+        zigbee_delays=list(node.packet_delays),
+        zigbee_packets_offered=source.bursts_generated * config.burst_packets,
+        zigbee_packets_delivered=node.packets_delivered,
+        zigbee_packets_dropped=getattr(node, "packets_dropped", 0),
+        zigbee_payload_bytes=node.delivered_payload_bytes,
+        burst_latencies=list(node.burst_latencies),
+        control_packets=getattr(node, "control_packets_sent", 0),
+        wifi_packets_delivered=office.wifi_sender.mac.data_delivered,
+    )
+    if coordinator is not None:
+        result.whitespace_airtime = coordinator.whitespace_airtime
+        result.whitespaces_issued = getattr(
+            coordinator, "grants_issued", getattr(coordinator, "whitespaces_issued", 0)
+        )
+        if hasattr(coordinator, "stop"):
+            coordinator.stop()
+    if hasattr(node, "stop"):
+        node.stop()
+    return result
+
+
+# ======================================================================
+# Learning-phase behaviour (Figs. 7, 8, 9)
+# ======================================================================
+@dataclass
+class LearningTrialResult:
+    n_packets: int
+    step: float
+    location: str
+    iterations: int
+    converged: bool
+    final_whitespace: float
+    trajectory: List[float]  # granted lengths over time (Fig. 7 series)
+    burst_airtime: float  # data airtime one burst actually needs
+
+
+def run_learning_trial(
+    n_packets: int = 10,
+    step: float = 30e-3,
+    location: str = "A",
+    payload_bytes: int = 50,
+    burst_interval: float = 200e-3,
+    n_bursts: int = 15,
+    seed: int = 0,
+    calibration: Optional[Calibration] = None,
+) -> LearningTrialResult:
+    """Observe the white-space learning process for one traffic pattern."""
+    config = BicordConfig()
+    config.allocator.initial_whitespace = step
+    office = build_office(seed=seed, location=location, calibration=calibration)
+    ctx = office.ctx
+    cal = office.calibration
+    WifiPacketSource(
+        ctx, office.wifi_sender.mac, "F",
+        payload_bytes=cal.wifi_payload_bytes, interval=cal.wifi_interval,
+    )
+    coordinator = BicordCoordinator(office.wifi_receiver, config=config)
+    node = BicordNode(
+        office.zigbee_sender, "ZR", config=config,
+        powermap=location_powermap(location),
+    )
+    ZigbeeBurstSource(
+        ctx, node.offer_burst, n_packets=n_packets, payload_bytes=payload_bytes,
+        interval_mean=burst_interval, poisson=False, max_bursts=n_bursts,
+    )
+    ctx.sim.run(until=n_bursts * burst_interval + 1.0)
+    coordinator.stop()
+    # Data airtime one burst needs (for over-provision accounting, Fig. 9):
+    # packet exchange = frame + ACK + 2 turnarounds + pacing gap.
+    from ..mac.frames import zigbee_ack_frame, zigbee_data_frame
+
+    exchange = (
+        zigbee_data_frame("ZS", "ZR", payload_bytes).duration()
+        + zigbee_ack_frame("ZR", "ZS", 0).duration()
+        + 2 * 192e-6
+        + config.signaling.inter_packet_gap
+    )
+    return LearningTrialResult(
+        n_packets=n_packets,
+        step=step,
+        location=location,
+        iterations=coordinator.allocator.learning_iterations,
+        converged=coordinator.allocator.converged,
+        final_whitespace=coordinator.allocator.current_whitespace,
+        trajectory=coordinator.allocator.whitespace_trajectory(),
+        burst_airtime=n_packets * exchange,
+    )
+
+
+# ======================================================================
+# Priority traffic (Fig. 13)
+# ======================================================================
+@dataclass
+class PriorityResult:
+    scheme: str
+    high_proportion: float
+    utilization: float
+    zigbee_utilization: float
+    low_priority_wifi_delay: float
+    high_priority_wifi_delay: float
+    zigbee_mean_delay: float
+
+
+def run_priority_experiment(
+    scheme: str = "bicord",
+    high_proportion: float = 0.3,
+    total_duration: float = 10.0,
+    ecc_whitespace: float = 20e-3,
+    location: str = "A",
+    seed: int = 0,
+    calibration: Optional[Calibration] = None,
+) -> PriorityResult:
+    """Sec. VIII-G: Wi-Fi mixes video (high) and file (low) traffic.
+
+    The coordinator ignores ZigBee requests while the Wi-Fi device is in a
+    high-priority phase.
+    """
+    office = build_office(seed=seed, location=location, calibration=calibration)
+    ctx = office.ctx
+    cal = office.calibration
+    source = PriorityWifiSource(
+        ctx, office.wifi_sender.mac, "F",
+        high_proportion=high_proportion, total_duration=total_duration,
+        payload_bytes=cal.wifi_payload_bytes, interval=cal.wifi_interval,
+    )
+
+    def policy() -> bool:
+        return source.current_priority == 0
+
+    if scheme == "bicord":
+        coordinator = BicordCoordinator(office.wifi_receiver, grant_policy=policy)
+        node = BicordNode(
+            office.zigbee_sender, "ZR", powermap=location_powermap(location)
+        )
+    elif scheme == "ecc":
+        coordinator = EccCoordinator(
+            office.wifi_receiver, whitespace=ecc_whitespace, grant_policy=policy
+        )
+        node = EccNode(office.zigbee_sender, "ZR")
+        coordinator.register(node)
+    else:
+        raise ValueError("priority experiment compares bicord and ecc")
+
+    ZigbeeBurstSource(
+        ctx, node.offer_burst, n_packets=5, payload_bytes=50,
+        interval_mean=200e-3, poisson=True,
+        max_bursts=int(total_duration / 0.2),
+    )
+    probe = AirtimeProbe(
+        wifi_radios=[office.wifi_sender.radio, office.wifi_receiver.radio],
+        zigbee_radios=[office.zigbee_sender.radio, office.zigbee_receiver.radio],
+    )
+    probe.start(0.0)
+    ctx.sim.run(until=total_duration + 0.5)
+    coordinator.stop()
+    snapshot = probe.snapshot(total_duration)
+    low = [d for d, p in office.wifi_sender.mac.delay_records if p == 0]
+    high = [d for d, p in office.wifi_sender.mac.delay_records if p > 0]
+    return PriorityResult(
+        scheme=scheme,
+        high_proportion=high_proportion,
+        utilization=snapshot.channel_utilization,
+        zigbee_utilization=snapshot.zigbee_utilization,
+        low_priority_wifi_delay=float(np.mean(low)) if low else 0.0,
+        high_priority_wifi_delay=float(np.mean(high)) if high else 0.0,
+        zigbee_mean_delay=float(np.mean(node.packet_delays)) if node.packet_delays else 0.0,
+    )
+
+
+# ======================================================================
+# Energy overhead (Sec. VII-B)
+# ======================================================================
+@dataclass
+class EnergyResult:
+    bicord_mj: float
+    clear_channel_mj: float
+    overhead_fraction: float
+    control_packets: int
+
+
+def run_energy_trial(
+    n_packets: int = 10,
+    payload_bytes: int = 120,
+    n_bursts: int = 10,
+    seed: int = 0,
+    calibration: Optional[Calibration] = None,
+) -> EnergyResult:
+    """Energy of delivering bursts under Wi-Fi (BiCord) vs a clear channel."""
+
+    def one(with_wifi: bool) -> Tuple[float, int]:
+        office = build_office(seed=seed, location="A", calibration=calibration)
+        ctx = office.ctx
+        cal = office.calibration
+        if with_wifi:
+            WifiPacketSource(
+                ctx, office.wifi_sender.mac, "F",
+                payload_bytes=cal.wifi_payload_bytes, interval=cal.wifi_interval,
+            )
+            BicordCoordinator(office.wifi_receiver)
+        node = BicordNode(
+            office.zigbee_sender, "ZR", powermap=location_powermap("A")
+        )
+        ZigbeeBurstSource(
+            ctx, node.offer_burst, n_packets=n_packets, payload_bytes=payload_bytes,
+            interval_mean=300e-3, poisson=False, max_bursts=n_bursts,
+        )
+        ctx.sim.run(until=n_bursts * 0.3 + 1.0)
+        return office.zigbee_sender.energy.total_mj, node.control_packets_sent
+
+    bicord_mj, control = one(with_wifi=True)
+    clear_mj, _ = one(with_wifi=False)
+    overhead = (bicord_mj - clear_mj) / clear_mj if clear_mj > 0 else 0.0
+    return EnergyResult(bicord_mj, clear_mj, overhead, control)

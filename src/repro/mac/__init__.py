@@ -1,0 +1,46 @@
+"""MAC layers: 802.11 DCF, 802.15.4 unslotted CSMA/CA, shared frame types."""
+
+from .frames import (
+    BROADCAST,
+    Frame,
+    FrameType,
+    wifi_ack_frame,
+    wifi_cts_frame,
+    wifi_data_frame,
+    zigbee_ack_frame,
+    zigbee_control_frame,
+    zigbee_data_frame,
+)
+from .wifi import DIFS_S, SIFS_S, SLOT_S, WifiMac
+from .zigbee import (
+    ACK_WAIT_S,
+    CCA_S,
+    CHANNEL_ACCESS_FAILURE,
+    NO_ACK,
+    TURNAROUND_S,
+    UNIT_BACKOFF_S,
+    ZigbeeMac,
+)
+
+__all__ = [
+    "BROADCAST",
+    "Frame",
+    "FrameType",
+    "wifi_ack_frame",
+    "wifi_cts_frame",
+    "wifi_data_frame",
+    "zigbee_ack_frame",
+    "zigbee_control_frame",
+    "zigbee_data_frame",
+    "DIFS_S",
+    "SIFS_S",
+    "SLOT_S",
+    "WifiMac",
+    "ACK_WAIT_S",
+    "CCA_S",
+    "CHANNEL_ACCESS_FAILURE",
+    "NO_ACK",
+    "TURNAROUND_S",
+    "UNIT_BACKOFF_S",
+    "ZigbeeMac",
+]

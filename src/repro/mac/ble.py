@@ -1,0 +1,282 @@
+"""A BLE connection with adaptive frequency hopping (AFH).
+
+Sec. VII-D argues BiCord's directly-coordinated channel allocation extends
+to other technology pairs, e.g. ZigBee and Bluetooth.  The BLE-world
+equivalent of a Wi-Fi white space is *channel exclusion*: a BLE master that
+keeps losing packets on the hop channels overlapping a ZigBee transmitter
+removes those channels from its hop map, permanently clearing the spectrum
+the ZigBee node asked for — the ZigBee transmissions themselves are the
+cross-technology signal, exactly like BiCord's control packets.
+
+This module implements the substrate: a master/slave connection exchanging
+one poll/response per connection event on a hopping data channel, per-channel
+CRC statistics, and the AFH classifier that maps failure concentration to
+channel exclusions (with probation so transient interference heals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..context import SimContext
+from ..devices.base import Radio, RxInfo
+from ..phy.medium import Technology
+from ..phy.spectrum import ble_channel
+from ..sim.process import Process
+from ..sim.units import usec
+from .frames import Frame, FrameType
+
+#: BLE inter-frame space.
+T_IFS_S = usec(150.0)
+#: LE requires at least two data channels in the map.
+MIN_USED_CHANNELS = 2
+#: BLE data channels (0-36; 37-39 are advertising).
+DATA_CHANNELS = tuple(range(37))
+
+
+class _BleEndpoint:
+    """Minimal MAC adapter connecting a radio to the connection object."""
+
+    def __init__(self, connection: "BleConnection", role: str):
+        self.connection = connection
+        self.role = role
+
+    def on_frame_received(self, frame: Frame, info: RxInfo) -> None:
+        self.connection._on_frame(self.role, frame, info)
+
+    def on_frame_lost(self, frame: Frame, info: RxInfo) -> None:
+        self.connection._on_loss(self.role, frame, info)
+
+    def on_medium_event(self) -> None:  # BLE is TDMA: nothing to re-plan
+        pass
+
+    def on_transmit_complete(self, frame: Frame) -> None:
+        pass
+
+
+@dataclass
+class ChannelStats:
+    attempts: int = 0
+    failures: int = 0
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.attempts if self.attempts else 0.0
+
+
+class BleConnection:
+    """One BLE master/slave link running connection events over a hop map."""
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        name: str,
+        master_pos,
+        slave_pos,
+        connection_interval: float = 30e-3,
+        payload_bytes: int = 30,
+        tx_power_dbm: float = 4.0,
+        hop_increment: int = 7,
+        afh_enabled: bool = True,
+        afh_check_interval: float = 0.5,
+        afh_failure_threshold: float = 0.4,
+        afh_min_samples: int = 4,
+        afh_probation: float = 5.0,
+    ):
+        self.ctx = ctx
+        self.name = name
+        self.connection_interval = connection_interval
+        self.payload_bytes = payload_bytes
+        self.tx_power_dbm = tx_power_dbm
+        self.hop_increment = hop_increment
+        self.afh_enabled = afh_enabled
+        self.afh_check_interval = afh_check_interval
+        self.afh_failure_threshold = afh_failure_threshold
+        self.afh_min_samples = afh_min_samples
+        self.afh_probation = afh_probation
+
+        def make_radio(role: str, pos) -> Radio:
+            radio = Radio(
+                name=f"{name}-{role}",
+                position=pos,
+                band=ble_channel(0),
+                technology=Technology.BLE,
+                sim=ctx.sim,
+                streams=ctx.streams,
+                trace=ctx.trace,
+                sensitivity_dbm=-90.0,
+                noise_figure_db=6.0,
+            )
+            ctx.medium.attach(radio)
+            return radio
+
+        self.master = make_radio("master", master_pos)
+        self.slave = make_radio("slave", slave_pos)
+        self.master.mac = _BleEndpoint(self, "master")
+        self.slave.mac = _BleEndpoint(self, "slave")
+
+        self.used_channels: List[int] = list(DATA_CHANNELS)
+        self.excluded_until: Dict[int, float] = {}
+        self.stats: Dict[int, ChannelStats] = {ch: ChannelStats() for ch in DATA_CHANNELS}
+        self._last_unmapped = 0
+        self._event_channel: Optional[int] = None
+        self._poll_answered = False
+        self._seq = 0
+
+        # Statistics
+        self.events = 0
+        self.event_successes = 0
+        self.event_failures = 0
+        self.exclusions = 0
+        self._event_process: Optional[Process] = None
+        self._afh_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._event_process is not None:
+            raise RuntimeError(f"{self.name} already started")
+        self._event_process = Process(
+            self.ctx.sim, self._run_events(), name=f"ble/{self.name}"
+        )
+        if self.afh_enabled:
+            self._afh_process = Process(
+                self.ctx.sim, self._run_afh(), start_delay=self.afh_check_interval,
+                name=f"ble-afh/{self.name}",
+            )
+
+    def stop(self) -> None:
+        if self._event_process is not None:
+            self._event_process.stop()
+            self._event_process = None
+        if self._afh_process is not None:
+            self._afh_process.stop()
+            self._afh_process = None
+
+    # ------------------------------------------------------------------
+    # Hopping
+    # ------------------------------------------------------------------
+    def _next_channel(self) -> int:
+        """Channel-selection algorithm #1 with a remapping table."""
+        self._last_unmapped = (self._last_unmapped + self.hop_increment) % len(
+            DATA_CHANNELS
+        )
+        channel = self._last_unmapped
+        if channel in self.used_channels:
+            return channel
+        remap_index = channel % len(self.used_channels)
+        return self.used_channels[remap_index]
+
+    def _tune(self, channel: int) -> None:
+        band = ble_channel(channel)
+        self.master.band = band
+        self.slave.band = band
+
+    # ------------------------------------------------------------------
+    # Connection events
+    # ------------------------------------------------------------------
+    def _run_events(self):
+        while True:
+            self._begin_event()
+            yield self.connection_interval
+
+    def _begin_event(self) -> None:
+        channel = self._next_channel()
+        self._event_channel = channel
+        self._poll_answered = False
+        self._tune(channel)
+        self.events += 1
+        self.stats[channel].attempts += 1
+        self._seq += 1
+        poll = Frame(
+            FrameType.DATA,
+            Technology.BLE,
+            self.master.name,
+            self.slave.name,
+            payload_bytes=self.payload_bytes,
+            mpdu_bytes=self.payload_bytes + 10,
+            seq=self._seq,
+        )
+        if self.master.is_transmitting:
+            return  # previous event overran; count as failure at close
+        self.master.transmit_frame(poll, self.tx_power_dbm)
+        # Close the books shortly before the next event.
+        self.ctx.sim.schedule(self.connection_interval * 0.9, self._close_event, channel)
+
+    def _close_event(self, channel: int) -> None:
+        if self._poll_answered:
+            self.event_successes += 1
+        else:
+            self.event_failures += 1
+            self.stats[channel].failures += 1
+
+    def _on_frame(self, role: str, frame: Frame, info: RxInfo) -> None:
+        if role == "slave" and frame.destination == self.slave.name:
+            response = Frame(
+                FrameType.DATA,
+                Technology.BLE,
+                self.slave.name,
+                self.master.name,
+                payload_bytes=0,
+                mpdu_bytes=10,
+                seq=frame.seq,
+            )
+            self.ctx.sim.schedule(T_IFS_S, self._slave_respond, response)
+        elif role == "master" and frame.destination == self.master.name:
+            if frame.seq == self._seq:
+                self._poll_answered = True
+
+    def _slave_respond(self, response: Frame) -> None:
+        if not self.slave.is_transmitting:
+            self.slave.transmit_frame(response, self.tx_power_dbm)
+
+    def _on_loss(self, role: str, frame: Frame, info: RxInfo) -> None:
+        pass  # the event-level bookkeeping in _close_event covers losses
+
+    # ------------------------------------------------------------------
+    # Adaptive frequency hopping
+    # ------------------------------------------------------------------
+    def _run_afh(self):
+        while True:
+            self._reclassify()
+            yield self.afh_check_interval
+
+    def _reclassify(self) -> None:
+        now = self.ctx.sim.now
+        # Probation: re-admit channels whose exclusion expired (the
+        # interferer may be gone; they will be re-excluded if not).
+        for channel, until in list(self.excluded_until.items()):
+            if now >= until:
+                del self.excluded_until[channel]
+                self.stats[channel] = ChannelStats()
+        bad = set()
+        for channel, stats in self.stats.items():
+            if channel in self.excluded_until:
+                bad.add(channel)
+                continue
+            if (
+                stats.attempts >= self.afh_min_samples
+                and stats.failure_rate >= self.afh_failure_threshold
+            ):
+                bad.add(channel)
+                if channel not in self.excluded_until:
+                    self.excluded_until[channel] = now + self.afh_probation
+                    self.exclusions += 1
+                    self.ctx.trace.record(
+                        now, "ble.afh_exclude", connection=self.name,
+                        channel=channel, failure_rate=stats.failure_rate,
+                    )
+        good = [ch for ch in DATA_CHANNELS if ch not in bad]
+        if len(good) >= MIN_USED_CHANNELS:
+            self.used_channels = good
+
+    # ------------------------------------------------------------------
+    @property
+    def event_success_rate(self) -> float:
+        closed = self.event_successes + self.event_failures
+        return self.event_successes / closed if closed else 0.0
+
+    def excluded_channels(self) -> List[int]:
+        return sorted(self.excluded_until)

@@ -1,0 +1,12 @@
+"""Small from-scratch ML substrate: CART decision tree, L1 k-means."""
+
+from .decision_tree import DecisionTreeClassifier
+from .kmeans import KMeans, KMeansResult, clustering_accuracy, manhattan_distances
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "KMeans",
+    "KMeansResult",
+    "clustering_accuracy",
+    "manhattan_distances",
+]

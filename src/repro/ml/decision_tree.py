@@ -1,0 +1,172 @@
+"""CART decision tree (from scratch).
+
+The paper's CTI detector feeds four RSSI-trace features to "a decision tree
+model" (ZiSense-style).  We implement a small, dependency-free CART
+classifier: binary splits on feature thresholds chosen by Gini impurity,
+depth- and leaf-size-limited to avoid overfitting the synthetic traces.
+
+The implementation is vectorized with numpy where it matters (threshold
+scanning) but keeps the tree itself as plain nested nodes for readability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """Internal tree node; leaves carry a prediction, splits carry a rule."""
+
+    prediction: Optional[int] = None
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    left: Optional["_Node"] = None  # feature value <= threshold
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.prediction is not None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTreeClassifier:
+    """Binary-split CART classifier for integer class labels.
+
+    Parameters mirror the scikit-learn names so downstream code reads
+    naturally: ``max_depth`` bounds the tree, ``min_samples_split`` and
+    ``min_samples_leaf`` stop early, ``n_classes`` is inferred from ``fit``.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self._root: Optional[_Node] = None
+        self.n_classes_: int = 0
+        self.n_features_: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, X: Sequence[Sequence[float]], y: Sequence[int]) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError("X and y lengths differ")
+        if len(X) == 0:
+            raise ValueError("cannot fit an empty dataset")
+        if y.min() < 0:
+            raise ValueError("labels must be non-negative integers")
+        self.n_classes_ = int(y.max()) + 1
+        self.n_features_ = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _class_counts(self, y: np.ndarray) -> np.ndarray:
+        return np.bincount(y, minlength=self.n_classes_)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        counts = self._class_counts(y)
+        majority = int(np.argmax(counts))
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or _gini(counts) == 0.0
+        ):
+            return _Node(prediction=majority)
+        split = self._best_split(X, y)
+        if split is None:
+            return _Node(prediction=majority)
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        left = self._build(X[mask], y[mask], depth + 1)
+        right = self._build(X[~mask], y[~mask], depth + 1)
+        return _Node(feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        best_gain = 1e-12
+        best = None
+        parent_impurity = _gini(self._class_counts(y))
+        n = len(y)
+        for feature in range(self.n_features_):
+            values = X[:, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            sorted_y = y[order]
+            # Candidate thresholds: midpoints between distinct adjacent values.
+            distinct = np.nonzero(np.diff(sorted_values) > 0)[0]
+            if len(distinct) == 0:
+                continue
+            left_counts = np.zeros(self.n_classes_)
+            prev_idx = 0
+            for idx in distinct:
+                boundary = idx + 1
+                left_counts += np.bincount(
+                    sorted_y[prev_idx:boundary], minlength=self.n_classes_
+                )
+                prev_idx = boundary
+                n_left = boundary
+                n_right = n - boundary
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                right_counts = self._class_counts(y) - left_counts
+                weighted = (n_left / n) * _gini(left_counts) + (n_right / n) * _gini(
+                    right_counts
+                )
+                gain = parent_impurity - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = 0.5 * (sorted_values[idx] + sorted_values[idx + 1])
+                    best = (feature, float(threshold))
+        return best
+
+    # ------------------------------------------------------------------
+    def predict_one(self, x: Sequence[float]) -> int:
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        node = self._root
+        while not node.is_leaf:
+            assert node.feature is not None and node.threshold is not None
+            node = node.left if x[node.feature] <= node.threshold else node.right
+            assert node is not None
+        assert node.prediction is not None
+        return node.prediction
+
+    def predict(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        return np.asarray([self.predict_one(x) for x in np.asarray(X, dtype=float)])
+
+    def score(self, X: Sequence[Sequence[float]], y: Sequence[int]) -> float:
+        """Accuracy on a labeled set."""
+        predictions = self.predict(X)
+        y = np.asarray(y, dtype=int)
+        return float(np.mean(predictions == y))
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        return walk(self._root)

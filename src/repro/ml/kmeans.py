@@ -1,0 +1,141 @@
+"""k-means clustering with Manhattan distance (from scratch).
+
+Smoggy-Link-style Wi-Fi transmitter identification clusters RSSI
+fingerprints "based on the Manhattan distance between their fingerprints"
+(Sec. VII-A).  Plain k-means minimizes squared Euclidean distance; the
+Manhattan variant (k-medians) updates each center coordinate to the
+*median* of its members, which is the L1-optimal center.
+
+Initialization is k-means++-style (distance-weighted seeding) on a caller
+supplied RNG so clustering is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def manhattan_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise L1 distances: (n_points, n_centers)."""
+    return np.abs(points[:, None, :] - centers[None, :, :]).sum(axis=2)
+
+
+@dataclass
+class KMeansResult:
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float  # sum of L1 distances to assigned centers
+    iterations: int
+
+
+class KMeans:
+    """L1 (Manhattan) k-means / k-medians."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        n_init: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if n_init < 1:
+            raise ValueError("n_init must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_init = n_init
+        self.rng = rng or np.random.default_rng(0)
+        self.result: Optional[KMeansResult] = None
+
+    # ------------------------------------------------------------------
+    def _init_centers(self, X: np.ndarray) -> np.ndarray:
+        """k-means++ seeding with L1 distances."""
+        n = len(X)
+        centers = np.empty((self.n_clusters, X.shape[1]))
+        first = int(self.rng.integers(0, n))
+        centers[0] = X[first]
+        for k in range(1, self.n_clusters):
+            distances = manhattan_distances(X, centers[:k]).min(axis=1)
+            total = distances.sum()
+            if total <= 0.0:
+                # All points coincide with chosen centers; pick arbitrarily.
+                centers[k] = X[int(self.rng.integers(0, n))]
+                continue
+            probabilities = distances / total
+            choice = int(self.rng.choice(n, p=probabilities))
+            centers[k] = X[choice]
+        return centers
+
+    def fit(self, X: Sequence[Sequence[float]]) -> KMeansResult:
+        """Run ``n_init`` seeded restarts and keep the lowest-inertia result."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) < self.n_clusters:
+            raise ValueError(
+                f"need at least {self.n_clusters} points, got {len(X)}"
+            )
+        best: Optional[KMeansResult] = None
+        for _ in range(self.n_init):
+            result = self._fit_once(X)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        self.result = best
+        return best
+
+    def _fit_once(self, X: np.ndarray) -> KMeansResult:
+        centers = self._init_centers(X)
+        labels = np.zeros(len(X), dtype=int)
+        iterations = 0
+        for iterations in range(1, self.max_iter + 1):
+            distances = manhattan_distances(X, centers)
+            labels = distances.argmin(axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if len(members) == 0:
+                    # Re-seed an empty cluster at the worst-served point.
+                    worst = distances.min(axis=1).argmax()
+                    new_centers[k] = X[worst]
+                else:
+                    new_centers[k] = np.median(members, axis=0)
+            shift = np.abs(new_centers - centers).max()
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        distances = manhattan_distances(X, centers)
+        labels = distances.argmin(axis=1)
+        inertia = float(distances[np.arange(len(X)), labels].sum())
+        return KMeansResult(centers, labels, inertia, iterations)
+
+    def predict(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        if self.result is None:
+            raise RuntimeError("KMeans is not fitted")
+        X = np.asarray(X, dtype=float)
+        return manhattan_distances(X, self.result.centers).argmin(axis=1)
+
+
+def clustering_accuracy(labels: np.ndarray, truth: np.ndarray) -> float:
+    """Best-assignment accuracy of a clustering against ground truth.
+
+    Cluster indices are arbitrary, so we greedily map each cluster to its
+    majority true class and score the resulting labeling.  (A Hungarian
+    assignment would be optimal; greedy majority is the standard metric for
+    small k and is exact when clusters are dominated by one class.)
+    """
+    labels = np.asarray(labels)
+    truth = np.asarray(truth)
+    if labels.shape != truth.shape:
+        raise ValueError("labels and truth must have the same shape")
+    correct = 0
+    for cluster in np.unique(labels):
+        members = truth[labels == cluster]
+        values, counts = np.unique(members, return_counts=True)
+        correct += int(counts.max())
+    return correct / len(labels)

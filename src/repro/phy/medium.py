@@ -1,0 +1,253 @@
+"""The shared wireless medium.
+
+The medium is the meeting point of every radio in a scenario.  It knows which
+transmissions are on the air, computes the power each radio receives from
+each transmission (path loss + shadowing + per-frame fading, weighted by
+spectral overlap), and notifies attached radios when transmissions start and
+end so they can lock onto frames, track interference, and re-evaluate their
+clear-channel state.
+
+Two different power questions arise and are answered by two methods:
+
+* :meth:`Medium.rx_power_dbm` — the power of one specific transmission at a
+  radio, *before* band filtering.  Receivers combine it with
+  :func:`~repro.phy.spectrum.overlap_fraction` to get captured power.
+* :meth:`Medium.inband_energy_dbm` — the total power inside a radio's receive
+  filter right now (noise floor plus all active transmissions), which is what
+  energy-detection CCA measures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.trace import TraceRecorder
+from ..sim.units import dbm_to_mw, linear_to_db, mw_to_dbm
+from .propagation import Channel
+from .spectrum import Band, overlap_fraction
+
+
+class Technology(Enum):
+    """Radio technology of a transmission: decides decodability and BER model."""
+
+    WIFI = "wifi"
+    ZIGBEE = "zigbee"
+    BLE = "ble"
+    MICROWAVE = "microwave"
+
+
+@dataclass
+class Transmission:
+    """One frame (or noise burst) on the air."""
+
+    tx_id: int
+    source_name: str
+    band: Band
+    power_dbm: float
+    start: float
+    duration: float
+    technology: Technology
+    frame: Any = None
+    source: Any = None  # the transmitting Radio, if any
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Tx {self.tx_id} {self.technology.value} from {self.source_name} "
+            f"[{self.start * 1e3:.3f}..{self.end * 1e3:.3f} ms] {self.power_dbm:.1f} dBm>"
+        )
+
+
+class Medium:
+    """Shared channel connecting all radios of a scenario."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.sim = sim
+        self.channel = channel
+        self.trace = trace or TraceRecorder(enabled_kinds=set())
+        self.radios: List[Any] = []
+        self._active: Dict[int, Transmission] = {}
+        self._tx_ids = itertools.count(1)
+        # rx power of each active transmission at each attached radio, dBm.
+        self._rx_power: Dict[Tuple[int, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach(self, radio: Any) -> None:
+        """Register a radio.  The radio's ``medium`` attribute is set."""
+        if any(r.name == radio.name for r in self.radios):
+            raise ValueError(f"duplicate radio name {radio.name!r}")
+        self.radios.append(radio)
+        radio.medium = self
+
+    def radio_by_name(self, name: str) -> Any:
+        for radio in self.radios:
+            if radio.name == name:
+                return radio
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # Transmissions
+    # ------------------------------------------------------------------
+    def transmit(
+        self,
+        source: Any,
+        duration: float,
+        power_dbm: float,
+        band: Band,
+        technology: Technology,
+        frame: Any = None,
+    ) -> Transmission:
+        """Put a transmission on the air from ``source`` (a Radio or emitter).
+
+        Received powers at every other radio are drawn now (one fading sample
+        per link per frame) and cached for the lifetime of the transmission.
+        All other radios are notified, then an end event is scheduled.
+        """
+        if duration <= 0.0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        tx = Transmission(
+            tx_id=next(self._tx_ids),
+            source_name=source.name,
+            band=band,
+            power_dbm=power_dbm,
+            start=self.sim.now,
+            duration=duration,
+            technology=technology,
+            frame=frame,
+            source=source,
+        )
+        self._active[tx.tx_id] = tx
+        for radio in self.radios:
+            if radio is source:
+                continue
+            rx_dbm = self.channel.rx_power_dbm(
+                power_dbm, source.name, source.position, radio.name, radio.position
+            )
+            self._rx_power[(tx.tx_id, radio.name)] = rx_dbm
+        self.trace.record(
+            self.sim.now,
+            "medium.tx_start",
+            source=source.name,
+            technology=technology.value,
+            duration=duration,
+            power_dbm=power_dbm,
+        )
+        for radio in self.radios:
+            if radio is not source:
+                radio.on_transmission_start(tx)
+        self.sim.schedule(duration, self._finish, tx)
+        return tx
+
+    def _finish(self, tx: Transmission) -> None:
+        self._active.pop(tx.tx_id, None)
+        self.trace.record(self.sim.now, "medium.tx_end", source=tx.source_name)
+        for radio in self.radios:
+            if radio is not tx.source:
+                radio.on_transmission_end(tx)
+        for radio in self.radios:
+            self._rx_power.pop((tx.tx_id, radio.name), None)
+        if tx.source is not None and hasattr(tx.source, "on_own_transmission_end"):
+            tx.source.on_own_transmission_end(tx)
+
+    def active_transmissions(self) -> Iterable[Transmission]:
+        return self._active.values()
+
+    # ------------------------------------------------------------------
+    # Power queries
+    # ------------------------------------------------------------------
+    def rx_power_dbm(self, tx: Transmission, radio: Any) -> float:
+        """Unfiltered received power of ``tx`` at ``radio`` (cached per frame)."""
+        try:
+            return self._rx_power[(tx.tx_id, radio.name)]
+        except KeyError:
+            # A radio attached mid-transmission (rare; mobility experiments).
+            rx_dbm = self.channel.rx_power_dbm(
+                tx.power_dbm, tx.source_name, tx.source.position, radio.name, radio.position
+            )
+            self._rx_power[(tx.tx_id, radio.name)] = rx_dbm
+            return rx_dbm
+
+    def captured_power_mw(self, tx: Transmission, radio: Any) -> float:
+        """Power of ``tx`` that enters ``radio``'s receive filter, in mW."""
+        fraction = overlap_fraction(tx.band, radio.band)
+        if fraction <= 0.0:
+            return 0.0
+        return dbm_to_mw(self.rx_power_dbm(tx, radio) + linear_to_db(fraction))
+
+    def interference_mw(
+        self,
+        radio: Any,
+        exclude: Tuple[int, ...] = (),
+        technologies: Optional[Iterable[Technology]] = None,
+    ) -> float:
+        """Sum of captured powers of active transmissions at ``radio``, mW.
+
+        The radio's own transmission is always excluded; ``exclude`` lists
+        additional transmission ids (typically the frame being received).
+        """
+        wanted = set(technologies) if technologies is not None else None
+        total = 0.0
+        for tx in self._active.values():
+            if tx.source is radio or tx.tx_id in exclude:
+                continue
+            if wanted is not None and tx.technology not in wanted:
+                continue
+            total += self.captured_power_mw(tx, radio)
+        return total
+
+    def decoding_interference_mw(
+        self,
+        radio: Any,
+        exclude: Tuple[int, ...] = (),
+    ) -> float:
+        """Interference power *as seen by the demodulator*, in mW.
+
+        A narrowband interferer inside a wideband receiver corrupts only the
+        spectrum it overlaps (a few OFDM subcarriers, a slice of the DSSS
+        spread), so its effect on decoding is its captured power diluted by
+        ``overlap / receiver_bandwidth``.  A 2 MHz ZigBee signal inside a
+        20 MHz Wi-Fi receiver is 10 dB less harmful than a co-channel Wi-Fi
+        signal of the same received power — which is why ZigBee control
+        packets degrade Wi-Fi PRR by only a few percent (Sec. V) instead of
+        destroying every overlapped frame.  Energy-detection CCA, in
+        contrast, measures raw in-band power (:meth:`interference_mw`).
+        """
+        total = 0.0
+        for tx in self._active.values():
+            if tx.source is radio or tx.tx_id in exclude:
+                continue
+            captured = self.captured_power_mw(tx, radio)
+            if captured <= 0.0:
+                continue
+            dilution = min(
+                1.0, tx.band.overlapped_mhz(radio.band) / radio.band.bandwidth_mhz
+            )
+            total += captured * dilution
+        return total
+
+    def inband_energy_dbm(
+        self,
+        radio: Any,
+        technologies: Optional[Iterable[Technology]] = None,
+    ) -> float:
+        """Total in-band power at ``radio``: noise floor + interference, dBm."""
+        noise_mw = dbm_to_mw(radio.noise_floor_dbm)
+        return mw_to_dbm(noise_mw + self.interference_mw(radio, technologies=technologies))
+
+    def busy_with(self, technology: Technology) -> bool:
+        """True if any transmission of ``technology`` is currently on the air."""
+        return any(tx.technology is technology for tx in self._active.values())

@@ -1,0 +1,134 @@
+"""Radio propagation: positions, path loss, shadowing, and fast fading.
+
+The office environment of the paper (Fig. 6) is modeled with the standard
+indoor log-distance path-loss model plus two random components:
+
+* **Shadowing** — a log-normal, *per-link static* term capturing walls and
+  furniture.  It is drawn once per (transmitter, receiver) pair from a
+  deterministic stream so a given topology always sees the same mean link
+  budget.
+* **Fast fading** — a per-frame term capturing multipath variation, drawn per
+  transmission.  A small Gaussian in dB (Rician-like, office LoS) keeps the
+  reception thresholds soft, which is what makes the paper's precision/recall
+  tables take values strictly between 0 and 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the 2-D office plane, meters."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def moved(self, dx: float, dy: float) -> "Position":
+        return Position(self.x + dx, self.y + dy)
+
+
+@dataclass
+class PathLossModel:
+    """Log-distance path loss: ``PL(d) = pl0 + 10 n log10(d / d0)``.
+
+    Defaults: ``pl0 = 40 dB`` at 1 m (free space at 2.4 GHz is 40.05 dB) and
+    exponent ``n = 3.0``, a common office value.  Distances below ``min_distance``
+    are clamped so colocated devices do not produce infinite power.
+    """
+
+    pl0_db: float = 40.0
+    exponent: float = 3.0
+    reference_m: float = 1.0
+    min_distance_m: float = 0.3
+
+    def loss_db(self, distance_m: float) -> float:
+        d = max(distance_m, self.min_distance_m)
+        return self.pl0_db + 10.0 * self.exponent * math.log10(d / self.reference_m)
+
+
+@dataclass
+class FadingModel:
+    """Random link-budget components.
+
+    ``shadowing_sigma_db`` is the standard deviation of the static per-link
+    term; ``fading_sigma_db`` the per-frame term.  Either may be zero for a
+    fully deterministic channel (useful in unit tests).
+    """
+
+    shadowing_sigma_db: float = 2.0
+    fading_sigma_db: float = 2.5
+
+
+class Channel:
+    """Computes received power between positions.
+
+    The channel owns the shadowing cache and the fading streams; it is shared
+    by the :class:`~repro.phy.medium.Medium` for all links in a scenario.
+    Link identity for shadowing purposes is the *name pair* of the endpoints,
+    so a mobile device keeps its shadowing term while its distance changes
+    (the distance-dependent part is recomputed every frame).
+    """
+
+    def __init__(
+        self,
+        path_loss: PathLossModel,
+        fading: FadingModel,
+        streams: RandomStreams,
+    ):
+        self.path_loss = path_loss
+        self.fading = fading
+        self.streams = streams
+        self._shadowing_cache: Dict[Tuple[str, str], float] = {}
+
+    def _shadowing_db(self, tx_name: str, rx_name: str) -> float:
+        key = (tx_name, rx_name) if tx_name <= rx_name else (rx_name, tx_name)
+        value = self._shadowing_cache.get(key)
+        if value is None:
+            if self.fading.shadowing_sigma_db > 0.0:
+                rng = self.streams.stream(f"shadowing/{key[0]}|{key[1]}")
+                value = float(rng.normal(0.0, self.fading.shadowing_sigma_db))
+            else:
+                value = 0.0
+            self._shadowing_cache[key] = value
+        return value
+
+    def mean_rx_power_dbm(
+        self,
+        tx_power_dbm: float,
+        tx_name: str,
+        tx_pos: Position,
+        rx_name: str,
+        rx_pos: Position,
+    ) -> float:
+        """Received power without the per-frame fading term."""
+        loss = self.path_loss.loss_db(tx_pos.distance_to(rx_pos))
+        return tx_power_dbm - loss + self._shadowing_db(tx_name, rx_name)
+
+    def frame_fading_db(self, tx_name: str, rx_name: str) -> float:
+        """Draw the per-frame fading term for one (frame, link) pair."""
+        if self.fading.fading_sigma_db <= 0.0:
+            return 0.0
+        rng = self.streams.stream(f"fading/{tx_name}->{rx_name}")
+        return float(rng.normal(0.0, self.fading.fading_sigma_db))
+
+    def rx_power_dbm(
+        self,
+        tx_power_dbm: float,
+        tx_name: str,
+        tx_pos: Position,
+        rx_name: str,
+        rx_pos: Position,
+    ) -> float:
+        """Received power including a fresh per-frame fading draw."""
+        return self.mean_rx_power_dbm(
+            tx_power_dbm, tx_name, tx_pos, rx_name, rx_pos
+        ) + self.frame_fading_db(tx_name, rx_name)

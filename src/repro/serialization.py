@@ -1,0 +1,91 @@
+"""Config serialization: nested dataclasses ↔ plain dicts / JSON.
+
+Experiments are parameterized by nested dataclasses (`CoexistenceConfig`
+holding a `Calibration` and a `BicordConfig` holding detector/allocator/
+signaling sections).  For reproducibility manifests and the CLI's
+``--config`` option we need to round-trip them through JSON without
+hand-written (de)serializers per class.
+
+Only what the configs actually use is supported: dataclasses, numbers,
+strings, booleans, None, and lists/tuples/dicts of those.  Unknown keys are
+rejected loudly — a typo in a config file must not silently fall back to a
+default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Type, TypeVar, get_args, get_origin, get_type_hints
+
+T = TypeVar("T")
+
+
+def to_dict(obj: Any) -> Any:
+    """Recursively convert dataclasses to plain dicts (JSON-ready)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_dict(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {key: to_dict(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_dict(item) for item in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot serialize {type(obj).__name__}: {obj!r}")
+
+
+def from_dict(cls: Type[T], data: Dict[str, Any]) -> T:
+    """Build a dataclass of type ``cls`` from a plain dict.
+
+    Nested dataclass fields are reconstructed recursively; extra keys raise
+    ``ValueError``; missing keys fall back to the dataclass defaults.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    if not isinstance(data, dict):
+        raise TypeError(f"expected a dict for {cls.__name__}, got {type(data).__name__}")
+    hints = get_type_hints(cls)
+    field_names = {field.name for field in dataclasses.fields(cls)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) for {cls.__name__}: {sorted(unknown)} "
+            f"(valid: {sorted(field_names)})"
+        )
+    kwargs: Dict[str, Any] = {}
+    for field in dataclasses.fields(cls):
+        if field.name not in data:
+            continue
+        value = data[field.name]
+        target = hints.get(field.name, None)
+        kwargs[field.name] = _coerce(target, value)
+    return cls(**kwargs)  # type: ignore[return-value]
+
+
+def _coerce(target: Any, value: Any) -> Any:
+    if target is not None and dataclasses.is_dataclass(target):
+        return from_dict(target, value)
+    origin = get_origin(target)
+    if origin in (list, tuple) and isinstance(value, list):
+        args = get_args(target)
+        inner = args[0] if args else None
+        items = [_coerce(inner, item) for item in value]
+        return tuple(items) if origin is tuple else items
+    if origin is dict and isinstance(value, dict):
+        return dict(value)
+    return value
+
+
+def dumps(obj: Any, **kwargs: Any) -> str:
+    """Serialize a (nested) dataclass to a JSON string."""
+    kwargs.setdefault("indent", 2)
+    kwargs.setdefault("sort_keys", True)
+    return json.dumps(to_dict(obj), **kwargs)
+
+
+def loads(cls: Type[T], text: str) -> T:
+    """Deserialize a JSON string into a dataclass of type ``cls``."""
+    return from_dict(cls, json.loads(text))

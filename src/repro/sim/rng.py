@@ -1,0 +1,55 @@
+"""Deterministic, named random-number streams.
+
+Every stochastic component of the simulator (fading on each link, MAC
+backoffs of each device, traffic arrivals, CSI noise, ...) draws from its own
+stream, derived from a single experiment seed and a stable string name.  This
+has two consequences that matter for experiments:
+
+* runs are bit-reproducible given the seed, and
+* adding a new random consumer does not perturb the draws seen by existing
+  components (streams are independent, not interleaved).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+def _stable_hash(name: str) -> int:
+    """A platform-independent 64-bit hash of ``name`` (``hash()`` is salted)."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RandomStreams:
+    """Factory of independent :class:`numpy.random.Generator` streams.
+
+    >>> streams = RandomStreams(seed=7)
+    >>> a = streams.stream("fading/A->F")
+    >>> b = streams.stream("mac/zigbee-1")
+    >>> a is streams.stream("fading/A->F")
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        generator = self._streams.get(name)
+        if generator is None:
+            seq = np.random.SeedSequence(entropy=self.seed, spawn_key=(_stable_hash(name),))
+            generator = np.random.Generator(np.random.PCG64(seq))
+            self._streams[name] = generator
+        return generator
+
+    def fork(self, salt: str) -> "RandomStreams":
+        """Derive an independent family of streams (e.g. per repetition)."""
+        return RandomStreams(seed=(self.seed * 1000003 + _stable_hash(salt)) % (2**63))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RandomStreams(seed={self.seed}, streams={len(self._streams)})"

@@ -1,0 +1,73 @@
+"""Structured trace recording.
+
+Devices and protocol modules emit trace records (``kind`` plus free-form
+fields) instead of printing.  Experiments and tests then query the trace:
+counting retransmissions, extracting white-space intervals, checking
+invariants such as "no ZigBee data frame overlaps an active Wi-Fi data frame
+inside a granted white space".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: a timestamp, a kind, and arbitrary fields."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+@dataclass
+class TraceRecorder:
+    """Append-only trace with simple querying.
+
+    Recording can be restricted to a set of kinds (``enabled_kinds``) to keep
+    long simulations lean; counters are always maintained for every kind.
+    """
+
+    enabled_kinds: Optional[set] = None
+    records: List[TraceRecord] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        """Append a record (if the kind is enabled) and bump its counter."""
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+        if self.enabled_kinds is not None and kind not in self.enabled_kinds:
+            return
+        self.records.append(TraceRecord(time, kind, fields))
+
+    def count(self, kind: str) -> int:
+        """Total number of records of ``kind`` seen (enabled or not)."""
+        return self.counters.get(kind, 0)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All stored records of ``kind`` in time order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def where(self, predicate: Callable[[TraceRecord], bool]) -> Iterator[TraceRecord]:
+        """Lazily iterate over stored records matching ``predicate``."""
+        return (r for r in self.records if predicate(r))
+
+    def between(self, start: float, end: float, kind: Optional[str] = None) -> List[TraceRecord]:
+        """Stored records with ``start <= time < end``, optionally of one kind."""
+        return [
+            r
+            for r in self.records
+            if start <= r.time < end and (kind is None or r.kind == kind)
+        ]
+
+    def clear(self) -> None:
+        """Drop stored records and counters."""
+        self.records.clear()
+        self.counters.clear()

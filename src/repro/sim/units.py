@@ -1,0 +1,74 @@
+"""Unit helpers shared across the simulator.
+
+All simulation times are plain floats in **seconds**; all powers cross module
+boundaries in **dBm** and are converted to milliwatts only where summation is
+required (interference aggregation).  Keeping the conventions in one module
+avoids the classic dB-vs-linear bookkeeping bugs.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: One microsecond, in seconds.  MAC timings are specified in microseconds.
+USEC = 1e-6
+#: One millisecond, in seconds.
+MSEC = 1e-3
+
+#: Thermal noise power spectral density at 290 K, in dBm/Hz.
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+
+#: Lowest representable power.  Used instead of -inf so that dBm arithmetic
+#: stays finite (e.g. when a band does not overlap a receive filter at all).
+MIN_POWER_DBM = -200.0
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power in milliwatts to dBm.
+
+    Powers at or below zero milliwatt map to :data:`MIN_POWER_DBM` rather than
+    raising, because interference sums legitimately collapse to zero when no
+    transmitter is active.
+    """
+    if mw <= 0.0:
+        return MIN_POWER_DBM
+    return 10.0 * math.log10(mw)
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dimensionless ratio in dB to linear scale."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a dimensionless linear ratio to dB (floored like dBm)."""
+    if ratio <= 0.0:
+        return MIN_POWER_DBM
+    return 10.0 * math.log10(ratio)
+
+
+def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise power over ``bandwidth_hz``, plus a receiver noise figure.
+
+    ``kTB`` at room temperature: -174 dBm/Hz + 10*log10(B).  A 2 MHz ZigBee
+    receiver therefore sees roughly -111 dBm, a 20 MHz Wi-Fi receiver roughly
+    -101 dBm, before the noise figure is added.
+    """
+    if bandwidth_hz <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    return THERMAL_NOISE_DBM_PER_HZ + 10.0 * math.log10(bandwidth_hz) + noise_figure_db
+
+
+def usec(value: float) -> float:
+    """Express ``value`` microseconds in seconds."""
+    return value * USEC
+
+
+def msec(value: float) -> float:
+    """Express ``value`` milliseconds in seconds."""
+    return value * MSEC

@@ -1,0 +1,10 @@
+"""Workload generators for coexistence scenarios."""
+
+from .generators import (
+    Burst,
+    PriorityWifiSource,
+    WifiPacketSource,
+    ZigbeeBurstSource,
+)
+
+__all__ = ["Burst", "PriorityWifiSource", "WifiPacketSource", "ZigbeeBurstSource"]

@@ -1,0 +1,231 @@
+"""Traffic generators.
+
+The paper's workloads:
+
+* the Wi-Fi sender transmits 100-byte packets every 1 ms (Sec. VIII-A);
+* the ZigBee sender emits *bursts* of N packets of 50 bytes, with
+  Poisson-distributed burst intervals (Sec. VIII-D, "data traffic of ZigBee
+  nodes is originated following a Poisson process");
+* the priority experiment (Sec. VIII-G) mixes high-priority video segments
+  with low-priority file transfer over a 10 s horizon.
+
+Generators push work into sinks (a Wi-Fi MAC queue, a ZigBee protocol node)
+and never touch the PHY directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..context import SimContext
+from ..mac.frames import Frame, wifi_data_frame
+from ..mac.wifi import WifiMac
+from ..sim.process import Process
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One ZigBee application burst: ``n_packets`` of ``payload_bytes`` each."""
+
+    created_at: float
+    n_packets: int
+    payload_bytes: int
+    burst_id: int
+
+
+class ZigbeeBurstSource:
+    """Generates application bursts for a ZigBee sender.
+
+    ``interval_mean`` is the mean gap between bursts; ``poisson=True`` draws
+    exponential gaps (the paper's model), otherwise gaps are fixed.  The sink
+    is typically ``BicordNode.offer_burst`` or a baseline node's equivalent.
+    """
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        sink: Callable[[Burst], None],
+        n_packets: int = 5,
+        payload_bytes: int = 50,
+        interval_mean: float = 0.2,
+        poisson: bool = True,
+        max_bursts: Optional[int] = None,
+        name: str = "zigbee-source",
+        start_delay: float = 0.0,
+    ):
+        self.ctx = ctx
+        self.sink = sink
+        self.n_packets = n_packets
+        self.payload_bytes = payload_bytes
+        self.interval_mean = interval_mean
+        self.poisson = poisson
+        self.max_bursts = max_bursts
+        self.bursts_generated = 0
+        self._ids = itertools.count(1)
+        self._rng = ctx.streams.stream(f"traffic/{name}")
+        self._process = Process(ctx.sim, self._run(), start_delay=start_delay, name=name)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    @property
+    def finished(self) -> bool:
+        return self._process.finished
+
+    def _run(self):
+        while self.max_bursts is None or self.bursts_generated < self.max_bursts:
+            burst = Burst(
+                created_at=self.ctx.sim.now,
+                n_packets=self.n_packets,
+                payload_bytes=self.payload_bytes,
+                burst_id=next(self._ids),
+            )
+            self.bursts_generated += 1
+            self.sink(burst)
+            if self.poisson:
+                yield float(self._rng.exponential(self.interval_mean))
+            else:
+                yield self.interval_mean
+
+
+class WifiPacketSource:
+    """Periodic Wi-Fi traffic: one ``payload_bytes`` frame every ``interval``.
+
+    A ``queue_limit`` keeps the MAC queue bounded when the channel is slower
+    than the offered load (frames beyond the limit are dropped at the source,
+    like a full driver ring).
+    """
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        mac: WifiMac,
+        destination: str,
+        payload_bytes: int = 100,
+        interval: float = 1e-3,
+        priority: int = 0,
+        queue_limit: int = 50,
+        max_packets: Optional[int] = None,
+        name: str = "wifi-source",
+    ):
+        self.ctx = ctx
+        self.mac = mac
+        self.destination = destination
+        self.payload_bytes = payload_bytes
+        self.interval = interval
+        self.priority = priority
+        self.queue_limit = queue_limit
+        self.max_packets = max_packets
+        self.packets_offered = 0
+        self.packets_dropped_at_source = 0
+        self._seq = itertools.count(1)
+        self._process = Process(ctx.sim, self._run(), name=name)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _offer(self) -> None:
+        self.packets_offered += 1
+        if self.mac.queue_length() >= self.queue_limit:
+            self.packets_dropped_at_source += 1
+            return
+        frame = wifi_data_frame(
+            self.mac.radio.name,
+            self.destination,
+            self.payload_bytes,
+            self.mac.data_rate,
+            created_at=self.ctx.sim.now,
+            priority=self.priority,
+        )
+        frame.seq = next(self._seq)
+        self.mac.enqueue(frame)
+
+    def _run(self):
+        while self.max_packets is None or self.packets_offered < self.max_packets:
+            self._offer()
+            yield self.interval
+
+
+class PriorityPhase:
+    """One contiguous phase of Wi-Fi traffic with a fixed priority."""
+
+    def __init__(self, priority: int, duration: float):
+        self.priority = priority
+        self.duration = duration
+
+
+class PriorityWifiSource:
+    """Two-class Wi-Fi traffic for the Sec. VIII-G experiment.
+
+    The 10 s horizon is divided into alternating high-priority (video) and
+    low-priority (file transfer) phases; ``high_proportion`` sets the fraction
+    of time spent in high-priority phases.  The coordinator can query
+    :attr:`current_priority` to decide whether to honour ZigBee requests.
+    """
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        mac: WifiMac,
+        destination: str,
+        high_proportion: float = 0.3,
+        total_duration: float = 10.0,
+        phase_duration: float = 0.5,
+        payload_bytes: int = 100,
+        interval: float = 1e-3,
+        queue_limit: int = 50,
+        name: str = "wifi-priority-source",
+    ):
+        if not 0.0 <= high_proportion <= 1.0:
+            raise ValueError(f"high_proportion must be in [0,1], got {high_proportion}")
+        self.ctx = ctx
+        self.mac = mac
+        self.destination = destination
+        self.high_proportion = high_proportion
+        self.total_duration = total_duration
+        self.phase_duration = phase_duration
+        self.payload_bytes = payload_bytes
+        self.interval = interval
+        self.queue_limit = queue_limit
+        self.current_priority = 0
+        self.packets_offered = 0
+        self._seq = itertools.count(1)
+        self._rng = ctx.streams.stream(f"traffic/{name}")
+        self.phases = self._build_phases()
+        self._process = Process(ctx.sim, self._run(), name=name)
+
+    def _build_phases(self) -> List[PriorityPhase]:
+        n_phases = max(1, round(self.total_duration / self.phase_duration))
+        n_high = round(self.high_proportion * n_phases)
+        flags = [1] * n_high + [0] * (n_phases - n_high)
+        self._rng.shuffle(flags)
+        return [PriorityPhase(priority, self.phase_duration) for priority in flags]
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _offer(self, priority: int) -> None:
+        self.packets_offered += 1
+        if self.mac.queue_length() >= self.queue_limit:
+            return
+        frame = wifi_data_frame(
+            self.mac.radio.name,
+            self.destination,
+            self.payload_bytes,
+            self.mac.data_rate,
+            created_at=self.ctx.sim.now,
+            priority=priority,
+        )
+        frame.seq = next(self._seq)
+        self.mac.enqueue(frame)
+
+    def _run(self):
+        for phase in self.phases:
+            self.current_priority = phase.priority
+            end = self.ctx.sim.now + phase.duration
+            while self.ctx.sim.now < end - 1e-9:
+                self._offer(phase.priority)
+                yield min(self.interval, max(end - self.ctx.sim.now, 1e-9))
+        self.current_priority = 0

@@ -1,0 +1,87 @@
+"""Tests for the Bianchi DCF model and its agreement with the simulator."""
+
+import math
+
+import pytest
+
+from repro.analysis import saturation_throughput, solve_fixed_point
+from repro.devices import WifiDevice
+from repro.phy.propagation import Position
+from repro.traffic import WifiPacketSource
+
+from .helpers import deterministic_context
+
+
+# ----------------------------------------------------------------------
+# Model sanity
+# ----------------------------------------------------------------------
+def test_single_station_never_collides():
+    tau, p = solve_fixed_point(1)
+    assert p == pytest.approx(0.0)
+    # With no collisions, tau = 2/(W+1) = 2/17.
+    assert tau == pytest.approx(2.0 / 17.0, rel=1e-6)
+
+
+def test_collision_probability_grows_with_stations():
+    ps = [solve_fixed_point(n)[1] for n in (2, 5, 10, 20)]
+    assert all(a < b for a, b in zip(ps, ps[1:]))
+
+
+def test_tau_decreases_with_stations():
+    taus = [solve_fixed_point(n)[0] for n in (1, 2, 5, 10, 20)]
+    assert all(a > b for a, b in zip(taus, taus[1:]))
+
+
+def test_throughput_peaks_then_decays():
+    thr = [saturation_throughput(n).throughput_bps for n in (1, 2, 5, 10, 30)]
+    # Mild non-monotonicity near the top, clear decay at high contention.
+    assert thr[-1] < thr[1]
+    assert all(t > 0 for t in thr)
+
+
+def test_throughput_increases_with_payload():
+    small = saturation_throughput(5, payload_bytes=200).throughput_bps
+    large = saturation_throughput(5, payload_bytes=1500).throughput_bps
+    assert large > small
+
+
+def test_invalid_station_count():
+    with pytest.raises(ValueError):
+        solve_fixed_point(0)
+
+
+# ----------------------------------------------------------------------
+# Simulator agreement
+# ----------------------------------------------------------------------
+def simulate_saturated(n, payload=1000, rate=24.0, duration=1.0, seed=1):
+    ctx = deterministic_context(seed=seed)
+    WifiDevice(ctx, "AP", Position(0, 0), data_rate_mbps=rate)
+    senders = []
+    for i in range(n):
+        angle = 2 * math.pi * i / max(n, 1)
+        device = WifiDevice(
+            ctx, f"S{i}",
+            Position(0.5 * math.cos(angle), 0.5 * math.sin(angle)),
+            data_rate_mbps=rate,
+        )
+        WifiPacketSource(ctx, device.mac, "AP", payload_bytes=payload,
+                         interval=1e-4, queue_limit=10**6, name=f"src{i}")
+        senders.append(device)
+    ctx.sim.run(until=duration)
+    bits = 8 * payload * sum(s.mac.data_delivered for s in senders)
+    sent = sum(s.mac.data_sent for s in senders)
+    missed = sum(s.mac.acks_missed for s in senders)
+    return bits / duration, missed / max(sent, 1)
+
+
+@pytest.mark.parametrize("n", [1, 2, 5])
+def test_simulated_dcf_matches_bianchi(n):
+    model = saturation_throughput(n, payload_bytes=1000, rate_mbps=24.0)
+    throughput, collision_rate = simulate_saturated(n)
+    assert throughput == pytest.approx(model.throughput_bps, rel=0.08)
+    assert collision_rate == pytest.approx(model.p_collision, abs=0.05)
+
+
+def test_simulated_collisions_appear_with_contention():
+    _thr, collision_rate = simulate_saturated(5)
+    assert collision_rate > 0.1

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_coexist_command_prints_metrics(capsys):
+    code = main(["coexist", "--scheme", "bicord", "--bursts", "6", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "channel utilization" in out
+    assert "delivery ratio" in out
+
+
+def test_coexist_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        main(["coexist", "--scheme", "carrier-pigeon"])
+
+
+def test_signaling_command(capsys):
+    code = main(["signaling", "--location", "A", "--salvos", "10", "--seed", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "precision" in out and "recall" in out
+
+
+def test_learning_command(capsys):
+    code = main(["learning", "--packets", "5", "--bursts", "8", "--seed", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "trajectory (ms):" in out
+
+
+def test_energy_command(capsys):
+    code = main(["energy", "--bursts", "3", "--seed", "4"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "overhead (%)" in out
+
+
+def test_ble_command_afh_toggle(capsys):
+    code = main(["ble", "--no-afh", "--duration", "3", "--seed", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "AFH off" in out
+
+
+def test_priority_command(capsys):
+    code = main(["priority", "--proportion", "0.2", "--duration", "2", "--seed", "6"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "high-priority wifi delay" in out

@@ -1,0 +1,105 @@
+"""Tests for the CSI-based ZigBee signal detector (Sec. V algorithm)."""
+
+import pytest
+
+from repro.core import DetectorConfig, ZigbeeSignalDetector
+from repro.phy.csi import CsiSample
+
+
+def sample(t, deviation, zigbee=False):
+    return CsiSample(time=t, deviation=deviation, zigbee_overlap=zigbee)
+
+
+def make(threshold=0.25, n=2, window=5e-3, refractory=4e-3):
+    return ZigbeeSignalDetector(
+        DetectorConfig(
+            fluctuation_threshold=threshold,
+            required_samples=n,
+            window=window,
+            refractory=refractory,
+        )
+    )
+
+
+def test_single_high_sample_is_not_enough():
+    """An isolated strong-noise spike must not fire — the continuity rule."""
+    detector = make()
+    assert not detector.observe(sample(0.001, 0.9))
+    assert detector.detections == 0
+
+
+def test_two_high_samples_within_window_fire():
+    detector = make()
+    detector.observe(sample(0.001, 0.5))
+    assert detector.observe(sample(0.003, 0.5))
+    assert detector.detections == 1
+
+
+def test_two_high_samples_outside_window_do_not_fire():
+    detector = make()
+    detector.observe(sample(0.001, 0.5))
+    assert not detector.observe(sample(0.008, 0.5))  # 7 ms apart > T=5 ms
+
+
+def test_low_samples_never_contribute():
+    detector = make()
+    for i in range(10):
+        assert not detector.observe(sample(i * 1e-3, 0.2))
+    assert detector.high_samples == 0
+
+
+def test_threshold_boundary_is_inclusive():
+    detector = make(threshold=0.25)
+    detector.observe(sample(0.001, 0.25))
+    assert detector.high_samples == 1
+
+
+def test_refractory_suppresses_repeat_detections():
+    detector = make(refractory=4e-3)
+    times = [0.0, 0.001, 0.002, 0.003, 0.004]
+    fired = [detector.observe(sample(t, 0.5)) for t in times]
+    assert fired == [False, True, False, False, False]
+    # After the refractory period a sustained signal fires again.
+    assert detector.observe(sample(0.0055, 0.5))
+    assert detector.detections == 2
+
+
+def test_callbacks_receive_detection_time():
+    detector = make()
+    seen = []
+    detector.on_detection.append(seen.append)
+    detector.observe(sample(0.001, 0.5))
+    detector.observe(sample(0.002, 0.5))
+    assert seen == [0.002]
+
+
+def test_required_samples_three():
+    detector = make(n=3)
+    detector.observe(sample(0.001, 0.5))
+    assert not detector.observe(sample(0.002, 0.5))
+    assert detector.observe(sample(0.003, 0.5))
+
+
+def test_reset_clears_window():
+    detector = make()
+    detector.observe(sample(0.001, 0.5))
+    detector.reset()
+    assert not detector.observe(sample(0.002, 0.5))  # needs two fresh highs
+
+
+def test_stats_counters():
+    detector = make()
+    detector.observe(sample(0.001, 0.1))
+    detector.observe(sample(0.002, 0.5))
+    detector.observe(sample(0.003, 0.5))
+    assert detector.samples_seen == 3
+    assert detector.high_samples == 2
+    assert detector.detections == 1
+    assert detector.last_detection == 0.003
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        ZigbeeSignalDetector(DetectorConfig(required_samples=0))
+    with pytest.raises(ValueError):
+        ZigbeeSignalDetector(DetectorConfig(window=0.0))

@@ -1,0 +1,109 @@
+"""Unit tests for the CSI observable model (repro.phy.csi)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.base import RxInfo
+from repro.mac.frames import wifi_data_frame
+from repro.phy.csi import CsiModel, CsiObserver
+from repro.phy.medium import Technology
+from repro.phy.modulation import wifi_rate
+
+from .helpers import deterministic_context, wifi_pair
+
+
+def make_observer(seed=1, **model_kwargs):
+    ctx = deterministic_context(seed=seed)
+    sender, receiver = wifi_pair(ctx)
+    observer = receiver.csi
+    observer.model = CsiModel(**model_kwargs)
+    samples = []
+    observer.subscribe(samples.append)
+    return ctx, receiver, observer, samples
+
+
+def feed(observer, n, overlaps=()):
+    frame = wifi_data_frame("E", "F", 100, wifi_rate(24.0))
+    info = RxInfo(rx_power_dbm=-40.0, success_probability=1.0, min_sinr_db=20.0,
+                  overlaps=list(overlaps))
+    for _ in range(n):
+        observer._on_frame(frame, info)
+
+
+def test_sigmoid_midpoint_and_monotonicity():
+    model = CsiModel(zigbee_midpoint_dbm=-50.0, zigbee_width_db=3.0)
+    assert model.zigbee_high_probability(-50.0) == pytest.approx(0.5)
+    probs = [model.zigbee_high_probability(p) for p in (-70, -60, -50, -40, -30)]
+    assert all(a < b for a, b in zip(probs, probs[1:]))
+    assert probs[0] < 0.01 and probs[-1] > 0.99
+
+
+def test_baseline_samples_rarely_cross_threshold():
+    ctx, receiver, observer, samples = make_observer(noise_spike_prob=0.0)
+    feed(observer, 500)
+    high = sum(1 for s in samples if s.deviation >= 0.25)
+    assert high < 5  # base_sigma 0.06: crossing 0.25 is a >4-sigma event
+    assert all(not s.zigbee_overlap for s in samples)
+
+
+def test_noise_spikes_obey_configured_rate():
+    ctx, receiver, observer, samples = make_observer(noise_spike_prob=0.1)
+    feed(observer, 2000)
+    high = sum(1 for s in samples if s.deviation >= 0.28)
+    assert high / 2000 == pytest.approx(0.1, abs=0.03)
+
+
+def test_strong_zigbee_overlap_produces_high_fluctuations():
+    ctx, receiver, observer, samples = make_observer(noise_spike_prob=0.0)
+    overlap = (Technology.ZIGBEE, "ZS", -40.0, 1e-3)  # far above the midpoint
+    feed(observer, 300, overlaps=[overlap])
+    high = sum(1 for s in samples if s.deviation >= 0.3)
+    assert high / 300 > 0.95
+    assert all(s.zigbee_overlap for s in samples)
+    assert samples[0].zigbee_source == "ZS"
+
+
+def test_weak_zigbee_overlap_rarely_crosses():
+    ctx, receiver, observer, samples = make_observer(noise_spike_prob=0.0)
+    overlap = (Technology.ZIGBEE, "ZS", -70.0, 1e-3)  # far below the midpoint
+    feed(observer, 300, overlaps=[overlap])
+    high = sum(1 for s in samples if s.deviation >= 0.3)
+    assert high / 300 < 0.1
+
+
+def test_too_short_overlap_is_ignored():
+    ctx, receiver, observer, samples = make_observer(min_overlap_s=50e-6)
+    overlap = (Technology.ZIGBEE, "ZS", -40.0, 10e-6)  # under the minimum
+    feed(observer, 50, overlaps=[overlap])
+    assert all(not s.zigbee_overlap for s in samples)
+
+
+def test_strongest_overlapping_source_wins():
+    ctx, receiver, observer, samples = make_observer()
+    overlaps = [
+        (Technology.ZIGBEE, "weak", -70.0, 1e-3),
+        (Technology.ZIGBEE, "strong", -40.0, 1e-3),
+    ]
+    feed(observer, 20, overlaps=overlaps)
+    assert all(s.zigbee_source == "strong" for s in samples)
+
+
+def test_non_zigbee_overlaps_do_not_mark_samples():
+    ctx, receiver, observer, samples = make_observer(noise_spike_prob=0.0)
+    overlap = (Technology.BLE, "bt", -40.0, 1e-3)
+    feed(observer, 50, overlaps=[overlap])
+    assert all(not s.zigbee_overlap for s in samples)
+
+
+def test_environment_hook_raises_deviation():
+    ctx, receiver, observer, samples = make_observer(noise_spike_prob=0.0)
+    observer.environment_deviation = lambda now: 0.8
+    feed(observer, 10)
+    assert all(s.deviation >= 0.8 for s in samples)
+
+
+def test_samples_emitted_counter():
+    ctx, receiver, observer, samples = make_observer()
+    feed(observer, 42)
+    assert observer.samples_emitted == 42
+    assert len(samples) == 42

@@ -1,0 +1,222 @@
+"""Tests for CTI feature extraction, classification, and fingerprinting."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CtiClassifier,
+    DeviceIdentifier,
+    Fingerprint,
+    InterfererClass,
+    RssiFeatures,
+    extract_features,
+    extract_fingerprint,
+)
+from repro.core.powermap import PowerMap, negotiate_power
+from repro.phy.rssi import RssiTrace
+
+FLOOR = -106.0
+
+
+def trace_from(samples, rate=40e3):
+    return RssiTrace(start_time=0.0, rate_hz=rate, samples_dbm=np.asarray(samples, float))
+
+
+def synthetic_trace(on_len, off_len, n_pulses, level=-50.0, rate=40e3):
+    """Square-wave RSSI: n_pulses of on_len samples at `level`, gaps at floor."""
+    samples = []
+    for _ in range(n_pulses):
+        samples += [level] * on_len + [FLOOR] * off_len
+    return trace_from(samples, rate)
+
+
+# ----------------------------------------------------------------------
+# Feature extraction
+# ----------------------------------------------------------------------
+def test_on_air_time_feature():
+    trace = synthetic_trace(on_len=8, off_len=8, n_pulses=5)
+    features = extract_features(trace, FLOOR)
+    assert features.avg_on_air_time == pytest.approx(8 / 40e3)
+
+
+def test_min_packet_interval_feature():
+    samples = [-50.0] * 4 + [FLOOR] * 10 + [-50.0] * 4 + [FLOOR] * 2 + [-50.0] * 4
+    features = extract_features(trace_from(samples), FLOOR)
+    assert features.min_packet_interval == pytest.approx(2 / 40e3)
+
+
+def test_single_run_interval_defaults_to_duration():
+    trace = synthetic_trace(on_len=10, off_len=0, n_pulses=1)
+    features = extract_features(trace, FLOOR)
+    assert features.min_packet_interval == pytest.approx(trace.duration)
+
+
+def test_under_noise_floor_feature():
+    samples = [FLOOR] * 50 + [-50.0] * 50
+    features = extract_features(trace_from(samples), FLOOR)
+    assert features.under_noise_floor == pytest.approx(0.5)
+
+
+def test_papr_flat_trace_is_one():
+    features = extract_features(trace_from([-50.0] * 100), FLOOR)
+    assert features.peak_to_average_ratio == pytest.approx(1.0)
+
+
+def test_papr_spiky_trace_is_large():
+    samples = [FLOOR] * 99 + [-40.0]
+    features = extract_features(trace_from(samples), FLOOR)
+    assert features.peak_to_average_ratio > 50
+
+
+def test_idle_trace_features_are_degenerate():
+    features = extract_features(trace_from([FLOOR] * 200), FLOOR)
+    assert features.avg_on_air_time == 0.0
+    assert features.under_noise_floor == pytest.approx(1.0)
+
+
+def test_feature_vector_roundtrip():
+    f = RssiFeatures(1e-3, 2e-3, 5.0, 0.3)
+    assert f.as_vector() == [1e-3, 2e-3, 5.0, 0.3]
+
+
+# ----------------------------------------------------------------------
+# Classifier on synthetic square waves
+# ----------------------------------------------------------------------
+def build_synthetic_dataset(n_each=40, seed=0):
+    """Wi-Fi: short dense pulses; ZigBee: long pulses; BT: rare spikes."""
+    rng = np.random.default_rng(seed)
+    features, labels = [], []
+    for _ in range(n_each):
+        # Wi-Fi: ~1 ms on (40 samples), ~0.3 ms gaps.
+        on = int(rng.integers(35, 45))
+        off = int(rng.integers(8, 16))
+        features.append(extract_features(synthetic_trace(on, off, 3), FLOOR))
+        labels.append(InterfererClass.WIFI)
+        # ZigBee: ~1.8 ms on (72 samples), 2 ms gaps.
+        on = int(rng.integers(65, 80))
+        off = int(rng.integers(70, 90))
+        features.append(extract_features(synthetic_trace(on, off, 2), FLOOR))
+        labels.append(InterfererClass.ZIGBEE)
+        # Bluetooth: one short spike in mostly-quiet trace.
+        on = int(rng.integers(5, 12))
+        features.append(extract_features(synthetic_trace(on, 180, 1), FLOOR))
+        labels.append(InterfererClass.BLUETOOTH)
+    return features, labels
+
+
+def test_classifier_separates_synthetic_sources():
+    features, labels = build_synthetic_dataset()
+    classifier = CtiClassifier().fit(features, labels)
+    assert classifier.accuracy(features, labels) > 0.95
+    assert classifier.wifi_detection_accuracy(features, labels) > 0.95
+
+
+def test_classifier_is_wifi_question():
+    features, labels = build_synthetic_dataset()
+    classifier = CtiClassifier().fit(features, labels)
+    wifi_example = extract_features(synthetic_trace(40, 12, 3), FLOOR)
+    zigbee_example = extract_features(synthetic_trace(72, 80, 2), FLOOR)
+    assert classifier.is_wifi(wifi_example)
+    assert not classifier.is_wifi(zigbee_example)
+
+
+def test_classifier_requires_fit():
+    classifier = CtiClassifier()
+    with pytest.raises(RuntimeError):
+        classifier.classify(RssiFeatures(0, 0, 1, 0))
+
+
+def test_classifier_rejects_empty_evaluation():
+    fitted = CtiClassifier().fit(*build_synthetic_dataset(5))
+    with pytest.raises(ValueError):
+        fitted.wifi_detection_accuracy([], [])
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+def test_fingerprint_extraction():
+    samples = [FLOOR] * 50 + [-50.0, -48.0, -52.0, -50.0] * 10 + [FLOOR] * 10
+    fp = extract_fingerprint(trace_from(samples), FLOOR)
+    assert fp.energy_span == pytest.approx(4.0)
+    assert fp.energy_level == pytest.approx(-50.0)
+    assert 0.0 < fp.occupancy_level < 1.0
+
+
+def test_fingerprint_idle_trace():
+    fp = extract_fingerprint(trace_from([FLOOR] * 100), FLOOR)
+    assert fp.occupancy_level == 0.0
+    assert fp.energy_level == FLOOR
+
+
+def test_identifier_separates_devices_by_level_and_occupancy():
+    rng = np.random.default_rng(1)
+    fingerprints, truth = [], []
+    # Device 0: strong and busy; device 1: weak and sparse.
+    for _ in range(30):
+        level = -45.0 + rng.normal(0, 1)
+        samples = ([level] * 30 + [FLOOR] * 10) * 4
+        fingerprints.append(extract_fingerprint(trace_from(samples), FLOOR))
+        truth.append(0)
+        level = -65.0 + rng.normal(0, 1)
+        samples = ([level] * 10 + [FLOOR] * 40) * 3
+        fingerprints.append(extract_fingerprint(trace_from(samples), FLOOR))
+        truth.append(1)
+    identifier = DeviceIdentifier(2, rng=np.random.default_rng(0))
+    labels = identifier.fit(fingerprints)
+    from repro.ml import clustering_accuracy
+
+    assert clustering_accuracy(labels, np.asarray(truth)) > 0.95
+    # identify() agrees with the training assignment for a training point.
+    assert identifier.identify(fingerprints[0]) == labels[0]
+
+
+def test_identifier_validation():
+    with pytest.raises(ValueError):
+        DeviceIdentifier(0)
+    identifier = DeviceIdentifier(2)
+    with pytest.raises(RuntimeError):
+        identifier.identify(Fingerprint(0, -50, 0, 0.5))
+    with pytest.raises(ValueError):
+        identifier.fit([Fingerprint(0, -50, 0, 0.5)])
+
+
+# ----------------------------------------------------------------------
+# PowerMap
+# ----------------------------------------------------------------------
+def test_powermap_defaults_and_entries():
+    pm = PowerMap(default_power_dbm=-1.0)
+    assert pm.get("unknown") == -1.0
+    assert pm.get(None) == -1.0
+    pm.set("ap-1", -3.0)
+    assert pm.get("ap-1") == -3.0
+    assert "ap-1" in pm and len(pm) == 1
+    assert pm.known_devices() == ["ap-1"]
+
+
+def test_negotiate_power_far_node_uses_full_power():
+    # ZigBee far from the Wi-Fi sender: 0 dBm stays under CCA.
+    power = negotiate_power(rx_power_at_wifi_sender_dbm=-60.0,
+                            wifi_cca_threshold_dbm=-50.0)
+    assert power == 0.0
+
+
+def test_negotiate_power_near_node_backs_off():
+    # Node close to the Wi-Fi sender: must drop below 0 dBm.
+    power = negotiate_power(rx_power_at_wifi_sender_dbm=-46.0,
+                            wifi_cca_threshold_dbm=-50.0)
+    assert power <= -7.0
+
+
+def test_negotiate_power_monotonic_in_proximity():
+    threshold = -50.0
+    powers = [
+        negotiate_power(rx, threshold) for rx in (-70.0, -55.0, -48.0, -40.0)
+    ]
+    assert all(a >= b for a, b in zip(powers, powers[1:]))
+
+
+def test_negotiate_power_floor():
+    # Even hopelessly close, the weakest candidate is returned.
+    power = negotiate_power(-10.0, -50.0)
+    assert power == -25.0

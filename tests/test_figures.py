@@ -1,0 +1,62 @@
+"""Tests for the terminal figure helpers."""
+
+import pytest
+
+from repro.experiments.figures import bar_chart, histogram, sparkline, timeline
+
+
+def test_sparkline_shape():
+    line = sparkline([0, 1, 2, 3])
+    assert len(line) == 4
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+    assert sparkline([]) == ""
+
+
+def test_sparkline_monotone_levels():
+    line = sparkline(list(range(8)))
+    assert list(line) == sorted(line, key="▁▂▃▄▅▆▇█".index)
+
+
+def test_bar_chart_rows_and_scaling():
+    chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("█") == 10  # the peak fills the width
+    assert lines[0].count("█") == 5
+
+
+def test_bar_chart_length_mismatch():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+
+
+def test_timeline_marks_intervals():
+    strip = timeline([(2.0, 4.0)], start=0.0, end=10.0, width=10)
+    assert strip == "..###....." or strip.count("#") in (2, 3)
+    assert len(strip) == 10
+
+
+def test_timeline_clips_to_window():
+    strip = timeline([(-5.0, 20.0)], start=0.0, end=10.0, width=10)
+    assert strip == "#" * 10
+
+
+def test_timeline_invalid_window():
+    with pytest.raises(ValueError):
+        timeline([], start=1.0, end=1.0)
+
+
+def test_histogram_counts_sum():
+    values = [0.1, 0.2, 0.2, 0.9]
+    text = histogram(values, n_bins=4, width=10)
+    counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+    assert sum(counts) == len(values)
+
+
+def test_histogram_degenerate():
+    assert "x3" in histogram([1.0, 1.0, 1.0])
+    assert histogram([]) == "(no data)"

@@ -1,0 +1,142 @@
+"""Tests for the shared medium: power bookkeeping, notifications, energy."""
+
+import pytest
+
+from repro.devices.base import Radio
+from repro.phy.medium import Technology
+from repro.phy.spectrum import wifi_channel, zigbee_channel
+from repro.sim.units import dbm_to_mw, mw_to_dbm
+from repro.phy.propagation import Position
+
+from .helpers import deterministic_context
+
+
+def make_radio(ctx, name, pos, band, tech, **kwargs):
+    radio = Radio(
+        name=name,
+        position=pos,
+        band=band,
+        technology=tech,
+        sim=ctx.sim,
+        streams=ctx.streams,
+        trace=ctx.trace,
+        **kwargs,
+    )
+    ctx.medium.attach(radio)
+    return radio
+
+
+def test_duplicate_radio_names_rejected():
+    ctx = deterministic_context()
+    make_radio(ctx, "a", Position(0, 0), wifi_channel(11), Technology.WIFI)
+    with pytest.raises(ValueError):
+        make_radio(ctx, "a", Position(1, 0), wifi_channel(11), Technology.WIFI)
+
+
+def test_radio_by_name():
+    ctx = deterministic_context()
+    radio = make_radio(ctx, "a", Position(0, 0), wifi_channel(11), Technology.WIFI)
+    assert ctx.medium.radio_by_name("a") is radio
+    with pytest.raises(KeyError):
+        ctx.medium.radio_by_name("ghost")
+
+
+def test_rx_power_follows_path_loss():
+    ctx = deterministic_context()
+    a = make_radio(ctx, "a", Position(0, 0), zigbee_channel(24), Technology.ZIGBEE)
+    b = make_radio(ctx, "b", Position(10, 0), zigbee_channel(24), Technology.ZIGBEE)
+    tx = ctx.medium.transmit(a, 1e-3, 0.0, a.band, Technology.ZIGBEE)
+    # 0 dBm - (40 + 30*log10(10)) = -70 dBm
+    assert ctx.medium.rx_power_dbm(tx, b) == pytest.approx(-70.0)
+
+
+def test_energy_is_noise_floor_when_idle():
+    ctx = deterministic_context()
+    radio = make_radio(ctx, "a", Position(0, 0), zigbee_channel(24), Technology.ZIGBEE,
+                       noise_figure_db=5.0)
+    assert radio.energy_dbm() == pytest.approx(radio.noise_floor_dbm)
+    assert radio.noise_floor_dbm == pytest.approx(-106.0, abs=0.1)
+
+
+def test_energy_includes_active_transmission_and_clears_after():
+    ctx = deterministic_context()
+    a = make_radio(ctx, "a", Position(0, 0), zigbee_channel(24), Technology.ZIGBEE)
+    b = make_radio(ctx, "b", Position(2, 0), zigbee_channel(24), Technology.ZIGBEE)
+    readings = []
+    ctx.medium.transmit(a, 1e-3, 0.0, a.band, Technology.ZIGBEE)
+    ctx.sim.schedule(0.5e-3, lambda: readings.append(b.energy_dbm()))
+    ctx.sim.schedule(2e-3, lambda: readings.append(b.energy_dbm()))
+    ctx.sim.run()
+    during, after = readings
+    assert during == pytest.approx(-49.03, abs=0.2)  # 40 + 30*log10(2)
+    assert after == pytest.approx(b.noise_floor_dbm, abs=0.1)
+
+
+def test_energy_excludes_own_transmission():
+    ctx = deterministic_context()
+    a = make_radio(ctx, "a", Position(0, 0), zigbee_channel(24), Technology.ZIGBEE)
+    make_radio(ctx, "b", Position(2, 0), zigbee_channel(24), Technology.ZIGBEE)
+    ctx.medium.transmit(a, 1e-3, 0.0, a.band, Technology.ZIGBEE)
+    assert a.energy_dbm() == pytest.approx(a.noise_floor_dbm, abs=0.1)
+
+
+def test_cross_band_energy_weighted_by_overlap():
+    """Wi-Fi power into a ZigBee filter is attenuated by 10 dB (2/20 MHz)."""
+    ctx = deterministic_context()
+    w = make_radio(ctx, "w", Position(0, 0), wifi_channel(11), Technology.WIFI)
+    z = make_radio(ctx, "z", Position(2, 0), zigbee_channel(24), Technology.ZIGBEE)
+    ctx.medium.transmit(w, 1e-3, 20.0, w.band, Technology.WIFI)
+    # 20 dBm - 49.03 dB path loss - 10 dB overlap = -39.03 dBm in band.
+    assert z.energy_dbm() == pytest.approx(-39.03, abs=0.2)
+
+
+def test_disjoint_band_contributes_nothing():
+    ctx = deterministic_context()
+    w = make_radio(ctx, "w", Position(0, 0), wifi_channel(1), Technology.WIFI)
+    z = make_radio(ctx, "z", Position(2, 0), zigbee_channel(26), Technology.ZIGBEE)
+    ctx.medium.transmit(w, 1e-3, 20.0, w.band, Technology.WIFI)
+    assert z.energy_dbm() == pytest.approx(z.noise_floor_dbm, abs=0.1)
+
+
+def test_energy_sums_multiple_transmitters():
+    ctx = deterministic_context()
+    a = make_radio(ctx, "a", Position(0, 2), zigbee_channel(24), Technology.ZIGBEE)
+    b = make_radio(ctx, "b", Position(0, -2), zigbee_channel(24), Technology.ZIGBEE)
+    observer = make_radio(ctx, "o", Position(0, 0), zigbee_channel(24), Technology.ZIGBEE)
+    ctx.medium.transmit(a, 1e-3, 0.0, a.band, Technology.ZIGBEE)
+    ctx.medium.transmit(b, 1e-3, 0.0, b.band, Technology.ZIGBEE)
+    single = 0.0 - (40 + 30 * 0.30103)  # each at 2 m
+    expected = mw_to_dbm(2 * dbm_to_mw(single) + dbm_to_mw(observer.noise_floor_dbm))
+    assert observer.energy_dbm() == pytest.approx(expected, abs=0.1)
+
+
+def test_technology_filter_on_energy():
+    ctx = deterministic_context()
+    w = make_radio(ctx, "w", Position(0, 0), wifi_channel(11), Technology.WIFI)
+    z = make_radio(ctx, "z", Position(1, 0), zigbee_channel(24), Technology.ZIGBEE)
+    observer = make_radio(ctx, "o", Position(0, 1), wifi_channel(11), Technology.WIFI)
+    ctx.medium.transmit(w, 1e-3, 20.0, w.band, Technology.WIFI)
+    ctx.medium.transmit(z, 1e-3, 0.0, z.band, Technology.ZIGBEE)
+    wifi_only = observer.energy_dbm_of({Technology.WIFI})
+    zigbee_only = observer.energy_dbm_of({Technology.ZIGBEE})
+    both = observer.energy_dbm()
+    assert wifi_only > zigbee_only
+    assert both >= wifi_only
+
+
+def test_busy_with_reports_active_technology():
+    ctx = deterministic_context()
+    a = make_radio(ctx, "a", Position(0, 0), zigbee_channel(24), Technology.ZIGBEE)
+    make_radio(ctx, "b", Position(2, 0), zigbee_channel(24), Technology.ZIGBEE)
+    ctx.medium.transmit(a, 1e-3, 0.0, a.band, Technology.ZIGBEE)
+    assert ctx.medium.busy_with(Technology.ZIGBEE)
+    assert not ctx.medium.busy_with(Technology.WIFI)
+    ctx.sim.run()
+    assert not ctx.medium.busy_with(Technology.ZIGBEE)
+
+
+def test_transmit_rejects_nonpositive_duration():
+    ctx = deterministic_context()
+    a = make_radio(ctx, "a", Position(0, 0), zigbee_channel(24), Technology.ZIGBEE)
+    with pytest.raises(ValueError):
+        ctx.medium.transmit(a, 0.0, 0.0, a.band, Technology.ZIGBEE)

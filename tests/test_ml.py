@@ -1,0 +1,167 @@
+"""Tests for the ML substrate (decision tree, k-means)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    KMeans,
+    clustering_accuracy,
+    manhattan_distances,
+)
+
+
+# ----------------------------------------------------------------------
+# Decision tree
+# ----------------------------------------------------------------------
+def test_tree_learns_axis_aligned_rule():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, size=(200, 2))
+    y = (X[:, 0] > 0.5).astype(int)
+    tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+    assert tree.score(X, y) > 0.98
+
+
+def test_tree_learns_xor_with_depth():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-1, 1, size=(400, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+    deep = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    assert deep.score(X, y) > 0.9
+    assert deep.score(X, y) > shallow.score(X, y)
+
+
+def test_tree_multiclass():
+    rng = np.random.default_rng(2)
+    centers = np.array([[0, 0], [5, 0], [0, 5]])
+    X = np.vstack([c + rng.normal(0, 0.5, size=(50, 2)) for c in centers])
+    y = np.repeat([0, 1, 2], 50)
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    assert tree.score(X, y) > 0.95
+    assert tree.n_classes_ == 3
+
+
+def test_tree_pure_dataset_is_single_leaf():
+    X = [[0.0], [1.0], [2.0]]
+    y = [1, 1, 1]
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert tree.depth() == 0
+    assert tree.predict_one([5.0]) == 1
+
+
+def test_tree_respects_max_depth():
+    rng = np.random.default_rng(3)
+    X = rng.uniform(0, 1, size=(500, 3))
+    y = rng.integers(0, 2, size=500)  # noise: tree would love to overfit
+    tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+    assert tree.depth() <= 2
+
+
+def test_tree_input_validation():
+    tree = DecisionTreeClassifier()
+    with pytest.raises(ValueError):
+        tree.fit([], [])
+    with pytest.raises(ValueError):
+        tree.fit([[1.0]], [0, 1])
+    with pytest.raises(ValueError):
+        tree.fit([[1.0]], [-1])
+    with pytest.raises(ValueError):
+        DecisionTreeClassifier(max_depth=0)
+    with pytest.raises(RuntimeError):
+        tree.predict_one([1.0])
+
+
+def test_tree_generalizes_to_held_out_data():
+    rng = np.random.default_rng(4)
+    X = rng.uniform(0, 1, size=(400, 2))
+    y = ((X[:, 0] + X[:, 1]) > 1.0).astype(int)
+    tree = DecisionTreeClassifier(max_depth=5).fit(X[:300], y[:300])
+    assert tree.score(X[300:], y[300:]) > 0.85
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=1000))
+def test_tree_training_accuracy_beats_majority_class(n, seed):
+    """On separable data the tree is never worse than the majority baseline."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] > 0).astype(int)
+    tree = DecisionTreeClassifier(max_depth=4, min_samples_split=2,
+                                  min_samples_leaf=1).fit(X, y)
+    majority = max(np.mean(y), 1 - np.mean(y))
+    assert tree.score(X, y) >= majority - 1e-9
+
+
+# ----------------------------------------------------------------------
+# k-means (L1)
+# ----------------------------------------------------------------------
+def test_manhattan_distances_reference():
+    points = np.array([[0.0, 0.0], [1.0, 2.0]])
+    centers = np.array([[1.0, 1.0]])
+    distances = manhattan_distances(points, centers)
+    assert distances[0, 0] == pytest.approx(2.0)
+    assert distances[1, 0] == pytest.approx(1.0)
+
+
+def test_kmeans_recovers_separated_clusters():
+    rng = np.random.default_rng(5)
+    centers = np.array([[0, 0], [10, 0], [0, 10]])
+    X = np.vstack([c + rng.normal(0, 0.5, size=(40, 2)) for c in centers])
+    truth = np.repeat([0, 1, 2], 40)
+    result = KMeans(3, rng=np.random.default_rng(0)).fit(X)
+    assert clustering_accuracy(result.labels, truth) > 0.95
+
+
+def test_kmeans_centers_are_medians():
+    """With L1 distance the optimal center coordinate is the median."""
+    X = np.array([[0.0], [0.0], [0.0], [100.0]])  # outlier
+    result = KMeans(1, rng=np.random.default_rng(0)).fit(X)
+    assert result.centers[0, 0] == pytest.approx(0.0)  # median, not mean 25
+
+
+def test_kmeans_predict_assigns_nearest_center():
+    X = np.array([[0.0, 0.0], [0.1, 0.0], [9.9, 0.0], [10.0, 0.0]])
+    km = KMeans(2, rng=np.random.default_rng(1))
+    result = km.fit(X)
+    predictions = km.predict([[0.05, 0.0], [9.95, 0.0]])
+    assert predictions[0] != predictions[1]
+    assert result.inertia < 1.0
+
+
+def test_kmeans_input_validation():
+    with pytest.raises(ValueError):
+        KMeans(0)
+    with pytest.raises(ValueError):
+        KMeans(3).fit([[0.0], [1.0]])
+    km = KMeans(2)
+    with pytest.raises(RuntimeError):
+        km.predict([[0.0, 0.0]])
+
+
+def test_kmeans_deterministic_given_rng():
+    X = np.random.default_rng(7).normal(size=(50, 3))
+    r1 = KMeans(4, rng=np.random.default_rng(11)).fit(X)
+    r2 = KMeans(4, rng=np.random.default_rng(11)).fit(X)
+    assert np.array_equal(r1.labels, r2.labels)
+    assert r1.inertia == pytest.approx(r2.inertia)
+
+
+def test_kmeans_handles_duplicate_points():
+    X = np.zeros((10, 2))
+    result = KMeans(3, rng=np.random.default_rng(0)).fit(X)
+    assert result.inertia == pytest.approx(0.0)
+
+
+def test_clustering_accuracy_perfect_and_permuted():
+    truth = np.array([0, 0, 1, 1, 2, 2])
+    assert clustering_accuracy(truth, truth) == 1.0
+    permuted = np.array([2, 2, 0, 0, 1, 1])  # same partition, renamed
+    assert clustering_accuracy(permuted, truth) == 1.0
+
+
+def test_clustering_accuracy_shape_mismatch():
+    with pytest.raises(ValueError):
+        clustering_accuracy(np.array([0, 1]), np.array([0]))

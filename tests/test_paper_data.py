@@ -1,0 +1,111 @@
+"""Tests for the paper-data module and agreement scoring — plus checks that
+our protocol constants match the paper's stated implementation values."""
+
+import pytest
+
+from repro.core import AllocatorConfig, BicordConfig, DetectorConfig, SignalingConfig
+from repro.experiments.paper_data import (
+    PAPER_HEADLINES,
+    PAPER_TABLE1_PRECISION,
+    PAPER_TABLE2_RECALL,
+    location_ranking,
+    packet_count_trend_agreement,
+    pairwise_order_agreement,
+)
+
+
+# ----------------------------------------------------------------------
+# The dataset itself
+# ----------------------------------------------------------------------
+def test_tables_are_complete_grids():
+    for table in (PAPER_TABLE1_PRECISION, PAPER_TABLE2_RECALL):
+        assert len(table) == 4 * 3 * 3
+        for value in table.values():
+            assert 0.0 < value <= 1.0
+
+
+def test_paper_c_peaks_at_minus_one():
+    """The paper's own data shows C's recall peaking at -1 dBm (4 packets)."""
+    recalls = {p: PAPER_TABLE2_RECALL[("C", p, 4)] for p in (0.0, -1.0, -3.0)}
+    assert recalls[-1.0] == max(recalls.values())
+
+
+def test_paper_d_peaks_at_minus_three():
+    recalls = {p: PAPER_TABLE2_RECALL[("D", p, 4)] for p in (0.0, -1.0, -3.0)}
+    assert recalls[-3.0] == max(recalls.values())
+
+
+def test_paper_a_is_best_location_at_full_power():
+    assert location_ranking(PAPER_TABLE2_RECALL, 0.0, 4)[0] == "A"
+    assert location_ranking(PAPER_TABLE1_PRECISION, 0.0, 4)[0] == "A"
+
+
+def test_paper_trend_mostly_increasing_in_packets():
+    score = packet_count_trend_agreement(
+        PAPER_TABLE2_RECALL, PAPER_TABLE2_RECALL, tolerance=0.0
+    )
+    assert score > 0.8  # the paper's own data has a few dips
+
+
+# ----------------------------------------------------------------------
+# Scoring utilities
+# ----------------------------------------------------------------------
+def test_order_agreement_perfect_and_inverted():
+    assert pairwise_order_agreement([1, 2, 3], [10, 20, 30]) == 1.0
+    assert pairwise_order_agreement([1, 2, 3], [30, 20, 10]) == 0.0
+
+
+def test_order_agreement_tolerance():
+    # measured ties where the paper orders: forgiven within tolerance.
+    assert pairwise_order_agreement([1, 2], [5.0, 5.0], tolerance=0.1) == 1.0
+    assert pairwise_order_agreement([1, 2], [5.0, 5.0], tolerance=0.0) == 1.0
+    assert pairwise_order_agreement([2, 1], [5.0, 5.2], tolerance=0.1) == 0.0
+
+
+def test_order_agreement_validates_lengths():
+    with pytest.raises(ValueError):
+        pairwise_order_agreement([1], [1, 2])
+
+
+# ----------------------------------------------------------------------
+# Our constants match the paper's stated implementation values
+# ----------------------------------------------------------------------
+def test_detector_constants_match_paper():
+    config = DetectorConfig()
+    assert config.required_samples == 2  # "we set N = 2"
+    assert config.window == pytest.approx(5e-3)  # "and T = 5 ms"
+
+
+def test_allocator_constants_match_paper():
+    config = AllocatorConfig()
+    assert config.initial_whitespace in (30e-3, 40e-3)  # "30 or 40 ms"
+    assert config.control_packet_time == pytest.approx(8e-3)  # "8 ms"
+    assert config.end_silence == pytest.approx(20e-3)  # "20 ms"
+    assert config.reestimation_period == pytest.approx(10.0)  # "10 s"
+    assert config.estimation_margin_control_packets == 2.0  # "2 * T_c"
+
+
+def test_signaling_constants_match_paper():
+    config = SignalingConfig()
+    assert config.control_packet_bytes == 120  # "set as 120 bytes"
+    assert config.piggyback_data is False  # future work, off by default
+
+
+def test_paper_channel_pairing_used_by_default():
+    from repro.experiments import Calibration
+    from repro.phy.spectrum import wifi_channel, zigbee_channel
+
+    cal = Calibration()
+    assert (cal.wifi_channel, cal.zigbee_channel) in ((11, 24), (13, 26))
+    assert zigbee_channel(cal.zigbee_channel).overlaps(wifi_channel(cal.wifi_channel))
+
+
+def test_paper_footnote_powers_available():
+    from repro.experiments import LOCATION_POWERS_DBM
+
+    assert LOCATION_POWERS_DBM == {"A": 0.0, "B": 0.0, "C": -1.0, "D": -3.0}
+
+
+def test_headlines_present():
+    assert PAPER_HEADLINES["delay_reduction_vs_ecc"] == pytest.approx(0.842)
+    assert PAPER_HEADLINES["utilization_gain_vs_ecc_at_2s"] == pytest.approx(0.506)

@@ -1,0 +1,104 @@
+"""Tests for propagation: path loss, shadowing, fading."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.propagation import Channel, FadingModel, PathLossModel, Position
+from repro.sim.rng import RandomStreams
+
+
+def make_channel(shadowing=0.0, fading=0.0, seed=1, **pl_kwargs):
+    return Channel(
+        PathLossModel(**pl_kwargs),
+        FadingModel(shadowing_sigma_db=shadowing, fading_sigma_db=fading),
+        RandomStreams(seed=seed),
+    )
+
+
+def test_position_distance():
+    assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+    assert Position(1, 1).distance_to(Position(1, 1)) == 0.0
+
+
+def test_position_moved_is_new_object():
+    p = Position(1.0, 2.0)
+    q = p.moved(0.5, -0.5)
+    assert (q.x, q.y) == (1.5, 1.5)
+    assert (p.x, p.y) == (1.0, 2.0)
+
+
+def test_path_loss_reference_point():
+    model = PathLossModel(pl0_db=40.0, exponent=3.0)
+    assert model.loss_db(1.0) == pytest.approx(40.0)
+    assert model.loss_db(10.0) == pytest.approx(70.0)
+
+
+def test_path_loss_clamps_small_distances():
+    model = PathLossModel(min_distance_m=0.3)
+    assert model.loss_db(0.0) == model.loss_db(0.3)
+    assert model.loss_db(0.1) == model.loss_db(0.3)
+
+
+@given(
+    d1=st.floats(min_value=0.5, max_value=100.0),
+    d2=st.floats(min_value=0.5, max_value=100.0),
+)
+def test_path_loss_monotonic_in_distance(d1, d2):
+    model = PathLossModel()
+    if d1 < d2:
+        assert model.loss_db(d1) <= model.loss_db(d2)
+
+
+def test_deterministic_channel_rx_power():
+    channel = make_channel()
+    rx = channel.rx_power_dbm(0.0, "a", Position(0, 0), "b", Position(10, 0))
+    assert rx == pytest.approx(-70.0)  # 40 + 30*log10(10)
+
+
+def test_shadowing_is_static_per_link_and_symmetric():
+    channel = make_channel(shadowing=4.0)
+    p1 = channel.mean_rx_power_dbm(0.0, "a", Position(0, 0), "b", Position(5, 0))
+    p2 = channel.mean_rx_power_dbm(0.0, "a", Position(0, 0), "b", Position(5, 0))
+    assert p1 == p2  # static
+    forward = channel.mean_rx_power_dbm(0.0, "a", Position(0, 0), "b", Position(5, 0))
+    reverse = channel.mean_rx_power_dbm(0.0, "b", Position(5, 0), "a", Position(0, 0))
+    assert forward == pytest.approx(reverse)  # reciprocity
+
+
+def test_shadowing_differs_across_links():
+    channel = make_channel(shadowing=4.0)
+    ab = channel.mean_rx_power_dbm(0.0, "a", Position(0, 0), "b", Position(5, 0))
+    ac = channel.mean_rx_power_dbm(0.0, "a", Position(0, 0), "c", Position(5, 0))
+    assert ab != ac
+
+
+def test_fading_varies_per_frame_with_fixed_mean():
+    channel = make_channel(fading=3.0)
+    draws = {channel.frame_fading_db("a", "b") for _ in range(20)}
+    assert len(draws) > 1
+    mean = channel.mean_rx_power_dbm(0.0, "a", Position(0, 0), "b", Position(5, 0))
+    assert mean == channel.mean_rx_power_dbm(0.0, "a", Position(0, 0), "b", Position(5, 0))
+
+
+def test_zero_sigma_channel_is_fully_deterministic():
+    channel = make_channel()
+    assert channel.frame_fading_db("a", "b") == 0.0
+    a = channel.rx_power_dbm(10.0, "a", Position(0, 0), "b", Position(2, 0))
+    b = channel.rx_power_dbm(10.0, "a", Position(0, 0), "b", Position(2, 0))
+    assert a == b
+
+
+def test_same_seed_reproduces_shadowing():
+    c1 = make_channel(shadowing=4.0, seed=9)
+    c2 = make_channel(shadowing=4.0, seed=9)
+    assert c1.mean_rx_power_dbm(0.0, "a", Position(0, 0), "b", Position(5, 0)) == \
+        c2.mean_rx_power_dbm(0.0, "a", Position(0, 0), "b", Position(5, 0))
+
+
+def test_mobility_changes_distance_term_not_shadowing():
+    channel = make_channel(shadowing=4.0)
+    near = channel.mean_rx_power_dbm(0.0, "a", Position(0, 0), "b", Position(2, 0))
+    far = channel.mean_rx_power_dbm(0.0, "a", Position(0, 0), "b", Position(8, 0))
+    expected_delta = channel.path_loss.loss_db(8.0) - channel.path_loss.loss_db(2.0)
+    assert near - far == pytest.approx(expected_delta)

@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) on the core protocol state machines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AllocatorConfig, DetectorConfig, ZigbeeSignalDetector
+from repro.core.whitespace import AdaptiveWhitespaceAllocator
+from repro.phy.csi import CsiSample
+
+
+# ----------------------------------------------------------------------
+# Detector properties
+# ----------------------------------------------------------------------
+@st.composite
+def csi_streams(draw):
+    """A monotone-time stream of CSI samples with arbitrary deviations."""
+    n = draw(st.integers(min_value=1, max_value=120))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=1e-4, max_value=8e-3),
+            min_size=n, max_size=n,
+        )
+    )
+    deviations = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=n, max_size=n,
+        )
+    )
+    t = 0.0
+    samples = []
+    for gap, deviation in zip(gaps, deviations):
+        t += gap
+        samples.append(CsiSample(time=t, deviation=deviation, zigbee_overlap=False))
+    return samples
+
+
+@settings(max_examples=120, deadline=None)
+@given(csi_streams())
+def test_detection_implies_n_highs_within_window(samples):
+    """Soundness: every detection is justified by >= N high samples within T."""
+    config = DetectorConfig(fluctuation_threshold=0.25, required_samples=2,
+                            window=5e-3, refractory=4e-3)
+    detector = ZigbeeSignalDetector(config)
+    highs = []
+    for sample in samples:
+        is_high = sample.deviation >= config.fluctuation_threshold
+        fired = detector.observe(sample)
+        if is_high:
+            highs.append(sample.time)
+        if fired:
+            recent = [t for t in highs if t >= sample.time - config.window]
+            assert len(recent) >= config.required_samples
+
+
+@settings(max_examples=120, deadline=None)
+@given(csi_streams())
+def test_detections_respect_refractory(samples):
+    config = DetectorConfig(refractory=4e-3)
+    detector = ZigbeeSignalDetector(config)
+    detection_times = []
+    detector.on_detection.append(detection_times.append)
+    for sample in samples:
+        detector.observe(sample)
+    for a, b in zip(detection_times, detection_times[1:]):
+        assert b - a >= config.refractory - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(csi_streams(), st.integers(min_value=1, max_value=4))
+def test_stricter_n_never_detects_more(samples, n):
+    loose = ZigbeeSignalDetector(DetectorConfig(required_samples=n))
+    strict = ZigbeeSignalDetector(DetectorConfig(required_samples=n + 1))
+    for sample in samples:
+        loose.observe(sample)
+        strict.observe(sample)
+    assert strict.detections <= loose.detections
+
+
+# ----------------------------------------------------------------------
+# Allocator properties
+# ----------------------------------------------------------------------
+@st.composite
+def burst_histories(draw):
+    """A sequence of bursts, each needing a random number of rounds."""
+    n_bursts = draw(st.integers(min_value=1, max_value=25))
+    return draw(
+        st.lists(
+            st.integers(min_value=1, max_value=6),
+            min_size=n_bursts, max_size=n_bursts,
+        )
+    )
+
+
+def drive(allocator, history):
+    t = 0.0
+    for rounds in history:
+        for _ in range(rounds):
+            allocator.grant(t)
+            t += allocator.current_whitespace
+        allocator.on_burst_end(t + 0.02)
+        t += 0.2
+
+
+@settings(max_examples=150, deadline=None)
+@given(burst_histories())
+def test_grants_always_within_clamps(history):
+    config = AllocatorConfig(initial_whitespace=30e-3, min_whitespace=5e-3,
+                             max_whitespace=200e-3)
+    allocator = AdaptiveWhitespaceAllocator(config)
+    drive(allocator, history)
+    for grant in allocator.whitespace_trajectory():
+        assert config.min_whitespace <= grant <= config.max_whitespace
+
+
+@settings(max_examples=150, deadline=None)
+@given(burst_histories())
+def test_whitespace_monotone_between_timer_resets(history):
+    """Without the re-estimation timer, grants never shrink."""
+    allocator = AdaptiveWhitespaceAllocator(AllocatorConfig())
+    drive(allocator, history)
+    grants = allocator.whitespace_trajectory()
+    assert all(b >= a - 1e-12 for a, b in zip(grants, grants[1:]))
+
+
+@settings(max_examples=150, deadline=None)
+@given(burst_histories())
+def test_growth_bounded_per_burst(history):
+    """A single burst can at most double the white space (chaining guard)."""
+    allocator = AdaptiveWhitespaceAllocator(AllocatorConfig())
+    t = 0.0
+    for rounds in history:
+        before = allocator.current_whitespace
+        for _ in range(rounds):
+            allocator.grant(t)
+            t += allocator.current_whitespace
+        allocator.on_burst_end(t + 0.02)
+        after = allocator.current_whitespace
+        assert after <= max(2.0 * before, before + 8e-3) + 1e-12
+        t += 0.2
+
+
+@settings(max_examples=100, deadline=None)
+@given(burst_histories())
+def test_timer_reset_restores_initial_step(history):
+    config = AllocatorConfig()
+    allocator = AdaptiveWhitespaceAllocator(config)
+    drive(allocator, history)
+    allocator.on_reestimation_timer(1000.0)
+    assert allocator.current_whitespace == config.initial_whitespace
+    assert not allocator.converged
+
+
+@settings(max_examples=100, deadline=None)
+@given(burst_histories())
+def test_round_counter_resets_between_bursts(history):
+    allocator = AdaptiveWhitespaceAllocator(AllocatorConfig())
+    drive(allocator, history)
+    assert allocator.rounds_in_current_burst == 0
+    assert allocator.bursts_observed == len(history)

@@ -1,0 +1,78 @@
+"""Tests for config serialization (dataclass <-> dict/JSON round-trips)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import BicordConfig
+from repro.experiments import Calibration, CoexistenceConfig
+from repro.serialization import dumps, from_dict, loads, to_dict
+
+
+def test_bicord_config_roundtrip():
+    config = BicordConfig()
+    config.detector.required_samples = 3
+    config.allocator.initial_whitespace = 40e-3
+    config.signaling.piggyback_data = True
+    data = to_dict(config)
+    restored = from_dict(BicordConfig, data)
+    assert restored == config
+    assert restored.detector.required_samples == 3
+    assert restored.signaling.piggyback_data is True
+
+
+def test_coexistence_config_roundtrip_json():
+    config = CoexistenceConfig(scheme="ecc", n_bursts=12, ecc_whitespace=30e-3)
+    text = dumps(config)
+    restored = loads(CoexistenceConfig, text)
+    assert restored == config
+
+
+def test_calibration_roundtrip():
+    calibration = Calibration(path_loss_exponent=3.3, csi_noise_spike_prob=0.05)
+    assert from_dict(Calibration, to_dict(calibration)) == calibration
+
+
+def test_missing_keys_use_defaults():
+    restored = from_dict(Calibration, {"pl0_db": 42.0})
+    assert restored.pl0_db == 42.0
+    assert restored.path_loss_exponent == Calibration().path_loss_exponent
+
+
+def test_unknown_keys_rejected_loudly():
+    with pytest.raises(ValueError, match="unknown key"):
+        from_dict(Calibration, {"pl0_db": 42.0, "pl0_dbb": 1.0})
+
+
+def test_nested_unknown_keys_rejected():
+    data = to_dict(BicordConfig())
+    data["detector"]["windoww"] = 1.0
+    with pytest.raises(ValueError, match="windoww"):
+        from_dict(BicordConfig, data)
+
+
+def test_non_dataclass_rejected():
+    with pytest.raises(TypeError):
+        from_dict(dict, {})
+    with pytest.raises(TypeError):
+        to_dict(object())
+
+
+def test_from_dict_requires_mapping():
+    with pytest.raises(TypeError):
+        from_dict(Calibration, [1, 2, 3])
+
+
+def test_json_output_is_stable_and_readable():
+    text = dumps(Calibration())
+    assert '"pl0_db"' in text
+    # sorted keys -> deterministic manifests
+    assert text == dumps(Calibration())
+
+
+def test_validation_still_runs_on_deserialization():
+    """__post_init__ checks fire when configs are rebuilt from dicts."""
+    data = to_dict(CoexistenceConfig())
+    data["scheme"] = "smoke-signals"
+    with pytest.raises(ValueError):
+        from_dict(CoexistenceConfig, data)

@@ -1,0 +1,170 @@
+"""Tests for RNG streams, the trace recorder, and generator processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+
+# ----------------------------------------------------------------------
+# RandomStreams
+# ----------------------------------------------------------------------
+def test_same_seed_same_draws():
+    a = RandomStreams(seed=42).stream("x")
+    b = RandomStreams(seed=42).stream("x")
+    assert list(a.random(10)) == list(b.random(10))
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).stream("x")
+    b = RandomStreams(seed=2).stream("x")
+    assert list(a.random(10)) != list(b.random(10))
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(seed=7)
+    a = list(streams.stream("a").random(10))
+    b = list(streams.stream("b").random(10))
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(seed=7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_new_consumer_does_not_perturb_existing_stream():
+    """Adding a stream must not change what another stream produces."""
+    s1 = RandomStreams(seed=5)
+    first = list(s1.stream("mac").random(5))
+    s2 = RandomStreams(seed=5)
+    s2.stream("something-new").random(100)  # interleaved consumer
+    second = list(s2.stream("mac").random(5))
+    assert first == second
+
+
+def test_fork_changes_draws_deterministically():
+    base = RandomStreams(seed=3)
+    f1 = base.fork("rep-1").stream("x").random(5)
+    f2 = RandomStreams(seed=3).fork("rep-1").stream("x").random(5)
+    assert list(f1) == list(f2)
+    assert list(RandomStreams(seed=3).fork("rep-2").stream("x").random(5)) != list(f1)
+
+
+# ----------------------------------------------------------------------
+# TraceRecorder
+# ----------------------------------------------------------------------
+def test_trace_records_and_counts():
+    trace = TraceRecorder()
+    trace.record(1.0, "tx", device="a")
+    trace.record(2.0, "tx", device="b")
+    trace.record(3.0, "rx", device="a")
+    assert trace.count("tx") == 2
+    assert [r["device"] for r in trace.of_kind("tx")] == ["a", "b"]
+
+
+def test_trace_kind_filter_keeps_counters():
+    trace = TraceRecorder(enabled_kinds={"rx"})
+    trace.record(1.0, "tx", device="a")
+    trace.record(2.0, "rx", device="a")
+    assert trace.count("tx") == 1
+    assert trace.of_kind("tx") == []
+    assert len(trace.of_kind("rx")) == 1
+
+
+def test_trace_between_and_where():
+    trace = TraceRecorder()
+    for t in [0.5, 1.5, 2.5]:
+        trace.record(t, "tick", n=t)
+    assert [r.time for r in trace.between(1.0, 3.0)] == [1.5, 2.5]
+    assert len(list(trace.where(lambda r: r["n"] > 1.0))) == 2
+
+
+def test_trace_record_get_and_clear():
+    trace = TraceRecorder()
+    trace.record(1.0, "x", a=1)
+    record = trace.records[0]
+    assert record["a"] == 1
+    assert record.get("missing", "default") == "default"
+    trace.clear()
+    assert trace.records == [] and trace.count("x") == 0
+
+
+# ----------------------------------------------------------------------
+# Process
+# ----------------------------------------------------------------------
+def test_process_runs_steps_at_yielded_delays():
+    sim = Simulator()
+    times = []
+
+    def gen():
+        for _ in range(3):
+            times.append(sim.now)
+            yield 1.0
+
+    Process(sim, gen())
+    sim.run()
+    assert times == [0.0, 1.0, 2.0]
+
+
+def test_process_finishes_on_return():
+    sim = Simulator()
+
+    def gen():
+        yield 1.0
+
+    process = Process(sim, gen())
+    sim.run()
+    assert process.finished
+    assert not process.running
+
+
+def test_process_stop_cancels_future_steps():
+    sim = Simulator()
+    ticks = []
+
+    def gen():
+        while True:
+            ticks.append(sim.now)
+            yield 1.0
+
+    process = Process(sim, gen())
+    sim.schedule(2.5, process.stop)
+    sim.run(until=10.0)
+    assert ticks == [0.0, 1.0, 2.0]
+    assert process.finished
+
+
+def test_process_rejects_bad_yields():
+    sim = Simulator()
+
+    def bad_type():
+        yield "soon"
+
+    Process(sim, bad_type())
+    with pytest.raises(TypeError):
+        sim.run()
+
+    sim2 = Simulator()
+
+    def negative():
+        yield -1.0
+
+    Process(sim2, negative())
+    with pytest.raises(ValueError):
+        sim2.run()
+
+
+def test_process_start_delay():
+    sim = Simulator()
+    times = []
+
+    def gen():
+        times.append(sim.now)
+        yield 1.0
+
+    Process(sim, gen(), start_delay=5.0)
+    sim.run()
+    assert times == [5.0]

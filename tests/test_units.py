@@ -1,0 +1,65 @@
+"""Tests for unit conversions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.units import (
+    MIN_POWER_DBM,
+    db_to_linear,
+    dbm_to_mw,
+    linear_to_db,
+    msec,
+    mw_to_dbm,
+    thermal_noise_dbm,
+    usec,
+)
+
+
+def test_dbm_mw_known_values():
+    assert dbm_to_mw(0.0) == pytest.approx(1.0)
+    assert dbm_to_mw(10.0) == pytest.approx(10.0)
+    assert dbm_to_mw(-30.0) == pytest.approx(1e-3)
+    assert mw_to_dbm(1.0) == pytest.approx(0.0)
+    assert mw_to_dbm(100.0) == pytest.approx(20.0)
+
+
+def test_mw_to_dbm_floors_at_min_power():
+    assert mw_to_dbm(0.0) == MIN_POWER_DBM
+    assert mw_to_dbm(-1.0) == MIN_POWER_DBM
+    assert linear_to_db(0.0) == MIN_POWER_DBM
+
+
+@given(st.floats(min_value=-150.0, max_value=60.0))
+def test_dbm_mw_roundtrip(dbm):
+    assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+
+@given(st.floats(min_value=-100.0, max_value=100.0))
+def test_db_linear_roundtrip(db):
+    assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+
+def test_thermal_noise_reference_points():
+    # kTB at 290K: 2 MHz -> ~-111 dBm, 20 MHz -> ~-101 dBm.
+    assert thermal_noise_dbm(2e6) == pytest.approx(-110.99, abs=0.05)
+    assert thermal_noise_dbm(20e6) == pytest.approx(-100.99, abs=0.05)
+    assert thermal_noise_dbm(20e6, noise_figure_db=7.0) == pytest.approx(-93.99, abs=0.05)
+
+
+def test_thermal_noise_rejects_nonpositive_bandwidth():
+    with pytest.raises(ValueError):
+        thermal_noise_dbm(0.0)
+
+
+def test_time_helpers():
+    assert usec(9.0) == pytest.approx(9e-6)
+    assert msec(5.0) == pytest.approx(5e-3)
+
+
+def test_power_sum_in_mw_domain():
+    """Two equal powers add to +3 dB — the invariant interference sums rely on."""
+    total = mw_to_dbm(dbm_to_mw(-60.0) + dbm_to_mw(-60.0))
+    assert total == pytest.approx(-57.0, abs=0.02)

@@ -1,0 +1,177 @@
+"""Tests for the adaptive white-space allocator (Sec. VI state machine)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AllocatorConfig
+from repro.core.whitespace import AdaptiveWhitespaceAllocator, AllocatorPhase
+
+
+def make(step=30e-3, tc=8e-3, **kwargs):
+    return AdaptiveWhitespaceAllocator(
+        AllocatorConfig(initial_whitespace=step, control_packet_time=tc, **kwargs)
+    )
+
+
+def drive_burst(allocator, n_rounds, start=0.0):
+    """Simulate one ZigBee burst needing ``n_rounds`` grants."""
+    t = start
+    for _ in range(n_rounds):
+        allocator.grant(t)
+        t += allocator.current_whitespace
+    allocator.on_burst_end(t + 20e-3)
+    return t
+
+
+def test_initial_grant_is_the_step():
+    allocator = make(step=30e-3)
+    assert allocator.grant(0.0) == pytest.approx(30e-3)
+    assert allocator.phase is AllocatorPhase.LEARNING
+
+
+def test_single_round_burst_converges_immediately():
+    allocator = make()
+    drive_burst(allocator, 1)
+    assert allocator.converged
+    assert allocator.current_whitespace == pytest.approx(30e-3)
+
+
+def test_paper_estimation_formula():
+    """T_estimation = (T_w - 2*T_c) * N_round, paper Sec. VI."""
+    allocator = make(step=30e-3, tc=8e-3)
+    drive_burst(allocator, 3)
+    # (30 - 16) * 3 = 42 ms
+    assert allocator.current_whitespace == pytest.approx(42e-3)
+    assert not allocator.converged
+    assert allocator.estimates[-1].estimation == pytest.approx(42e-3)
+
+
+def test_fig7_convergence_sequence():
+    """The paper's Fig. 7 example: 30 -> 42 -> 52 -> 72 ms, then converged.
+
+    A 10-packet burst (~62.7 ms) needs 3 rounds at 30 ms, then 2 rounds at
+    42 ms, 2 at 52 ms, and finally fits in one 72 ms white space.
+    """
+    allocator = make(step=30e-3, tc=8e-3)
+    t = drive_burst(allocator, 3, 0.0)
+    assert allocator.current_whitespace == pytest.approx(42e-3)
+    t = drive_burst(allocator, 2, t + 0.2)
+    assert allocator.current_whitespace == pytest.approx(52e-3)
+    t = drive_burst(allocator, 2, t + 0.2)
+    assert allocator.current_whitespace == pytest.approx(72e-3)
+    drive_burst(allocator, 1, t + 0.2)
+    assert allocator.converged
+    assert allocator.current_whitespace == pytest.approx(72e-3)
+    assert allocator.learning_iterations == 3
+
+
+def test_whitespace_never_shrinks_during_learning():
+    """Fig. 7: the white space lengthens monotonically.
+
+    When the conservative estimate undershoots the current grant (2 rounds
+    at 30 ms -> estimate 28 ms), the allocator still grows by T_c so the
+    learning phase cannot deadlock.
+    """
+    allocator = make(step=30e-3, tc=8e-3)
+    drive_burst(allocator, 2)
+    assert allocator.current_whitespace == pytest.approx(38e-3)
+
+
+def test_growth_resumes_after_convergence_with_debounce():
+    """Traffic growth re-enters learning, but only after it repeats.
+
+    A single multi-round burst after convergence is treated as back-to-back
+    application bursts (chaining), not a pattern change; the second
+    consecutive one triggers the adjustment phase.
+    """
+    allocator = make()
+    drive_burst(allocator, 1)
+    assert allocator.converged
+    drive_burst(allocator, 3, start=1.0)
+    assert allocator.converged  # debounced: no reaction yet
+    assert allocator.current_whitespace == pytest.approx(30e-3)
+    drive_burst(allocator, 3, start=2.0)
+    assert not allocator.converged
+    assert allocator.current_whitespace > 30e-3
+
+
+def test_single_round_burst_resets_debounce():
+    allocator = make()
+    drive_burst(allocator, 1)
+    drive_burst(allocator, 3, start=1.0)  # anomaly 1
+    drive_burst(allocator, 1, start=2.0)  # pattern back to normal
+    drive_burst(allocator, 3, start=3.0)  # anomaly 1 again (not 2)
+    assert allocator.converged
+    assert allocator.current_whitespace == pytest.approx(30e-3)
+
+
+def test_reestimation_timer_resets_to_step():
+    allocator = make(step=30e-3)
+    drive_burst(allocator, 3)
+    assert allocator.current_whitespace > 30e-3
+    allocator.on_reestimation_timer(10.0)
+    assert allocator.current_whitespace == pytest.approx(30e-3)
+    assert allocator.phase is AllocatorPhase.LEARNING
+
+
+def test_burst_end_without_rounds_is_noop():
+    allocator = make()
+    assert allocator.on_burst_end(0.0) is None
+    assert allocator.bursts_observed == 0
+
+
+def test_clamping_to_max():
+    allocator = make(step=30e-3, max_whitespace=50e-3)
+    drive_burst(allocator, 5)  # estimate (30-16)*5 = 70 -> clamped to 50
+    assert allocator.current_whitespace == pytest.approx(50e-3)
+
+
+def test_grant_history_records_rounds_and_phase():
+    allocator = make()
+    allocator.grant(0.0)
+    allocator.grant(0.05)
+    allocator.on_burst_end(0.1)
+    allocator.grant(0.3)
+    records = allocator.grants
+    assert [r.round_in_burst for r in records] == [1, 2, 1]
+    assert records[0].phase is AllocatorPhase.LEARNING
+    assert len(allocator.whitespace_trajectory()) == 3
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        make(step=10e-3, tc=8e-3)  # step <= 2*Tc
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    burst_ms=st.floats(min_value=20.0, max_value=150.0),
+    step_ms=st.sampled_from([30.0, 40.0]),
+)
+def test_learning_always_converges_and_covers_burst(burst_ms, step_ms):
+    """Property: for any stable burst length the allocator converges to a
+    white space that fits the whole burst, in a bounded number of bursts."""
+    tc_ms = 8.0
+    allocator = make(step=step_ms * 1e-3, tc=tc_ms * 1e-3, max_whitespace=1.0)
+    overhead_ms = 10.0  # Tf + Tc consumed at the start of each round
+
+    t = 0.0
+    for _burst in range(50):
+        if allocator.converged and allocator.current_whitespace * 1e3 >= burst_ms:
+            break
+        remaining = burst_ms
+        rounds = 0
+        while remaining > 0:
+            grant_ms = allocator.grant(t) * 1e3
+            usable = max(grant_ms - overhead_ms, 1.0)
+            remaining -= usable
+            rounds += 1
+            t += grant_ms * 1e-3
+            if rounds > 100:
+                raise AssertionError("burst never drained")
+        allocator.on_burst_end(t + 0.02)
+        t += 0.2
+    assert allocator.converged
+    # Converged white space covers the data plus per-round overhead.
+    assert allocator.current_whitespace * 1e3 + 1e-6 >= burst_ms

@@ -1,0 +1,141 @@
+"""Finer-grained 802.11 DCF behaviours: freeze accounting, CW doubling,
+NAV stacking, the carrier-sense vulnerability window, saturation sanity."""
+
+import pytest
+
+from repro.devices import WifiDevice
+from repro.mac.frames import wifi_data_frame
+from repro.mac.wifi import CW_MIN, DIFS_S, SENSE_DELAY_S, SLOT_S
+from repro.phy.propagation import Position
+from repro.traffic import WifiPacketSource
+
+from .helpers import deterministic_context
+
+
+def enqueue(ctx, mac, dest="R", payload=100, seq=1):
+    frame = wifi_data_frame(mac.radio.name, dest, payload, mac.data_rate,
+                            created_at=ctx.sim.now)
+    frame.seq = seq
+    mac.enqueue(frame)
+    return frame
+
+
+def test_backoff_slots_decrease_across_freezes():
+    """A frozen countdown resumes with fewer (never more) slots."""
+    ctx = deterministic_context(seed=3)
+    a = WifiDevice(ctx, "A", Position(0, 0))
+    b = WifiDevice(ctx, "B", Position(1, 0))
+    WifiDevice(ctx, "R", Position(0.5, 1))
+    # A transmits a long frame; B's countdown freezes against it.
+    long_frame = wifi_data_frame("A", "R", 1500, a.mac.data_rate)
+    a.mac.enqueue(long_frame)
+    observed = []
+
+    def watch():
+        if b.mac._backoff_slots is not None:
+            observed.append(b.mac._backoff_slots)
+
+    enqueue(ctx, b.mac)
+    for i in range(200):
+        ctx.sim.schedule(i * 50e-6, watch)
+    ctx.sim.run(until=0.02)
+    decreasing = [s for s in observed]
+    assert decreasing, "backoff slots never observed"
+    assert all(x >= y for x, y in zip(decreasing, decreasing[1:]))
+
+
+def test_contention_window_doubles_on_missed_ack():
+    ctx = deterministic_context(seed=4)
+    a = WifiDevice(ctx, "A", Position(0, 0))
+    r = WifiDevice(ctx, "R", Position(1, 0))
+    r.radio.enabled = False  # never ACKs
+    enqueue(ctx, a.mac)
+    windows = []
+
+    def watch():
+        windows.append(a.mac._cw)
+
+    for i in range(100):
+        ctx.sim.schedule(i * 2e-3, watch)
+    ctx.sim.run(until=0.2)
+    assert max(windows) > CW_MIN  # doubled at least once
+    assert max(windows) <= 1023
+    # After the drop the window resets.
+    assert a.mac._cw == CW_MIN
+    assert a.mac.data_dropped == 1
+
+
+def test_nav_takes_maximum_of_overlapping_cts():
+    ctx = deterministic_context(seed=5)
+    a = WifiDevice(ctx, "A", Position(0, 0))
+    b = WifiDevice(ctx, "B", Position(1, 0))
+    WifiDevice(ctx, "R", Position(0.5, 1))
+    b.mac.reserve_whitespace(0.05)
+    ctx.sim.schedule(0.01, lambda: b.mac.reserve_whitespace(0.02))
+    ctx.sim.run(until=0.02)
+    # The second, shorter CTS must not shorten A's NAV.
+    assert a.mac.nav_until >= 0.05
+
+
+def test_sense_window_only_ignores_young_transmissions():
+    """_medium_busy(min_age) ignores just-started transmissions but not
+    established ones."""
+    ctx = deterministic_context(seed=6)
+    a = WifiDevice(ctx, "A", Position(0, 0))
+    b = WifiDevice(ctx, "B", Position(1, 0))
+    WifiDevice(ctx, "R", Position(0.5, 1))
+    checks = {}
+
+    def start_and_check():
+        frame = wifi_data_frame("A", "R", 1500, a.mac.data_rate)
+        a.radio.transmit_frame(frame, 20.0)  # directly on the air, now
+        # At age ~0 the aged check is blind, the plain check is not.
+        checks["young"] = b.mac._medium_busy(min_age=SENSE_DELAY_S)
+        checks["young_plain"] = b.mac._medium_busy()
+
+    def check_old():
+        checks["old"] = b.mac._medium_busy(min_age=SENSE_DELAY_S)
+
+    ctx.sim.schedule(1e-3, start_and_check)
+    ctx.sim.schedule(1e-3 + 200e-6, check_old)  # 200 us into the frame
+    ctx.sim.run(until=0.01)
+    assert checks["young"] is False
+    assert checks["young_plain"] is True
+    assert checks["old"] is True
+
+
+def test_saturated_single_link_efficiency():
+    """One saturated station's MAC efficiency lands where DCF should: around
+    60-70% of the 24 Mbps PHY rate for 1000 B frames."""
+    ctx = deterministic_context(seed=7)
+    a = WifiDevice(ctx, "A", Position(0, 0))
+    WifiDevice(ctx, "R", Position(1, 0))
+    WifiPacketSource(ctx, a.mac, "R", payload_bytes=1000, interval=1e-4,
+                     queue_limit=10**6)
+    ctx.sim.run(until=0.5)
+    throughput = 8 * 1000 * a.mac.data_delivered / 0.5
+    assert 0.55 * 24e6 < throughput < 0.72 * 24e6
+
+
+def test_backoff_duration_matches_slot_math():
+    """With no contention the frame starts exactly DIFS + k*SLOT after
+    enqueue for some k in [0, CW_MIN]."""
+    ctx = deterministic_context(seed=8)
+    a = WifiDevice(ctx, "A", Position(0, 0))
+    WifiDevice(ctx, "R", Position(1, 0))
+    starts = []
+    original = a.radio.transmit_frame
+
+    def spy(frame, power):
+        starts.append(ctx.sim.now)
+        return original(frame, power)
+
+    a.radio.transmit_frame = spy
+    t0 = 0.01
+    ctx.sim.schedule_at(t0, lambda: enqueue(ctx, a.mac))
+    ctx.sim.run(until=0.05)
+    assert starts
+    elapsed = starts[0] - t0 - DIFS_S
+    slots = elapsed / SLOT_S
+    assert slots == pytest.approx(round(slots), abs=1e-6)
+    assert 0 <= round(slots) <= CW_MIN

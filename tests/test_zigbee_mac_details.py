@@ -1,0 +1,94 @@
+"""802.15.4 MAC timing sanity and multi-coordinator scenarios."""
+
+import pytest
+
+from repro.core import BicordCoordinator, BicordNode
+from repro.devices import WifiDevice, ZigbeeDevice
+from repro.experiments.topology import location_powermap
+from repro.mac.frames import zigbee_ack_frame, zigbee_data_frame
+from repro.mac.zigbee import ACK_WAIT_S, CCA_S, TURNAROUND_S, UNIT_BACKOFF_S
+from repro.phy.propagation import Position
+from repro.traffic import Burst, WifiPacketSource
+
+from .helpers import deterministic_context, zigbee_pair
+
+
+def test_timing_constants_match_standard():
+    """802.15.4 2.4 GHz: 1 symbol = 16 us."""
+    assert UNIT_BACKOFF_S == pytest.approx(20 * 16e-6)
+    assert CCA_S == pytest.approx(8 * 16e-6)
+    assert TURNAROUND_S == pytest.approx(12 * 16e-6)
+    assert ACK_WAIT_S == pytest.approx(54 * 16e-6)
+
+
+def test_saturated_zigbee_link_throughput_matches_timing():
+    """Back-to-back 100 B packets: throughput = payload / exchange time.
+
+    One exchange = backoff (avg 3.5 * 320 us) + CCA + turnaround + data
+    (3.74 ms) + turnaround + ACK (0.35 ms): ~5.6 ms -> ~140 kbps of payload.
+    """
+    ctx = deterministic_context(seed=2)
+    sender, receiver = zigbee_pair(ctx)
+    delivered = []
+    receiver.mac.on_data_received = lambda f, i: delivered.append(f.seq)
+
+    seq = [0]
+
+    def send_next(_frame=None):
+        seq[0] += 1
+        frame = zigbee_data_frame("ZS", "ZR", 100)
+        frame.seq = seq[0]
+        sender.mac.send(frame)
+
+    sender.mac.on_send_success = send_next
+    send_next()
+    duration = 2.0
+    ctx.sim.run(until=duration)
+    throughput = 8 * 100 * len(delivered) / duration
+    data_s = zigbee_data_frame("ZS", "ZR", 100).duration()
+    ack_s = zigbee_ack_frame("ZR", "ZS", 0).duration()
+    expected_exchange = (
+        3.5 * UNIT_BACKOFF_S + CCA_S + TURNAROUND_S + data_s + TURNAROUND_S + ack_s
+    )
+    expected = 8 * 100 / expected_exchange
+    assert throughput == pytest.approx(expected, rel=0.1)
+
+
+def test_ack_arrives_within_mac_ack_wait():
+    """The receiver's turnaround + ACK airtime fits macAckWaitDuration plus
+    the ACK frame itself (the sender must never time out on a clean link)."""
+    ctx = deterministic_context(seed=3)
+    sender, receiver = zigbee_pair(ctx)
+    outcomes = []
+    sender.mac.on_send_success = lambda f: outcomes.append("ok")
+    sender.mac.on_send_failure = lambda f, r: outcomes.append(r)
+    frame = zigbee_data_frame("ZS", "ZR", 120)  # largest paper payload
+    frame.seq = 1
+    sender.mac.send(frame)
+    ctx.sim.run(until=0.1)
+    assert outcomes == ["ok"]
+
+
+def test_two_wifi_links_two_coordinators():
+    """Two independent Wi-Fi links with their own coordinators both react to
+    the same ZigBee node; the node still drains its bursts."""
+    ctx = deterministic_context(seed=4)
+    # Link 1: E1 -> F1; Link 2: E2 -> F2, same channel, same room.
+    e1 = WifiDevice(ctx, "E1", Position(0, 0), data_rate_mbps=1.0)
+    f1 = WifiDevice(ctx, "F1", Position(3, 0), data_rate_mbps=1.0, with_csi=True)
+    e2 = WifiDevice(ctx, "E2", Position(0, 3), data_rate_mbps=1.0)
+    f2 = WifiDevice(ctx, "F2", Position(3, 3), data_rate_mbps=1.0, with_csi=True)
+    WifiPacketSource(ctx, e1.mac, "F1", payload_bytes=100, interval=2e-3, name="s1")
+    WifiPacketSource(ctx, e2.mac, "F2", payload_bytes=100, interval=2e-3, name="s2")
+    c1 = BicordCoordinator(f1)
+    c2 = BicordCoordinator(f2)
+    zs = ZigbeeDevice(ctx, "ZS", Position(2.4, 1.4), tx_power_dbm=-7.0)
+    ZigbeeDevice(ctx, "ZR", Position(3.6, 1.8))
+    node = BicordNode(zs, "ZR", powermap=location_powermap("A"))
+    for i in range(4):
+        node.offer_burst(Burst(created_at=0.0, n_packets=5, payload_bytes=50,
+                               burst_id=i + 1))
+    ctx.sim.run(until=3.0)
+    assert node.packets_delivered == 20
+    # At least one coordinator granted; CTS from either silences both links.
+    assert c1.grants_issued + c2.grants_issued > 0
