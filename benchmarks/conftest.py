@@ -7,6 +7,11 @@ orderings, trends, and approximate factors — see EXPERIMENTS.md.
 
 ``BICORD_BENCH_SCALE`` scales workload sizes (default 1.0); e.g. 0.3 for a
 quick smoke run, 3.0 for tighter confidence intervals.
+
+``BICORD_BENCH_JOBS`` sets the worker-process count the sweep-driven
+benchmarks (Figs. 10/12, sweep scaling) fan out to; it defaults to the
+machine's core count, capped at 4.  Parallel runs are bitwise-identical to
+serial ones — only wall time changes.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from pathlib import Path
 import pytest
 
 SCALE = float(os.environ.get("BICORD_BENCH_SCALE", "1.0"))
+BENCH_JOBS = int(os.environ.get("BICORD_BENCH_JOBS", str(min(4, os.cpu_count() or 1))))
 
 
 def scaled(n: int, minimum: int = 2) -> int:

@@ -9,9 +9,9 @@ the offered load while ECC is capped by its fixed window.
 
 import numpy as np
 
-from repro.experiments import CoexistenceConfig, format_table, run_coexistence
+from repro.experiments import SweepEngine, format_table
 
-from .conftest import scaled
+from .conftest import BENCH_JOBS, scaled
 
 #: The paper's burst intervals (13/26/52/128/256 ticks).
 INTERVALS = (101.56e-3, 203.12e-3, 406.24e-3, 1.0, 2.0)
@@ -29,20 +29,25 @@ def _bursts_for(interval: float) -> int:
 
 
 def test_fig10_comparison(benchmark, emit):
+    # The full grid runs through the sweep engine so BICORD_BENCH_JOBS
+    # worker processes share the work; results are identical to a serial run.
+    keys = []
+    trials = []
+    for interval in INTERVALS:
+        for scheme, whitespace in SCHEMES:
+            label = scheme if whitespace is None else f"ecc-{int(whitespace * 1e3)}ms"
+            keys.append((interval, label))
+            trials.append(dict(
+                scheme=scheme,
+                ecc_whitespace=whitespace or 20e-3,
+                burst_interval=interval,
+                n_bursts=_bursts_for(interval),
+            ))
+
     def run():
-        results = {}
-        for interval in INTERVALS:
-            for scheme, whitespace in SCHEMES:
-                config = CoexistenceConfig(
-                    scheme=scheme,
-                    ecc_whitespace=whitespace or 20e-3,
-                    burst_interval=interval,
-                    n_bursts=_bursts_for(interval),
-                    seed=3,
-                )
-                label = scheme if whitespace is None else f"ecc-{int(whitespace * 1e3)}ms"
-                results[(interval, label)] = run_coexistence(config)
-        return results
+        engine = SweepEngine(jobs=BENCH_JOBS, cache=False)
+        sweep = engine.run_trials("coexistence", trials, seeds=(3,))
+        return dict(zip(keys, sweep.results))
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     labels = ["bicord", "ecc-20ms", "ecc-30ms", "ecc-40ms"]

@@ -7,29 +7,34 @@ device mobility causes retransmissions), and delay rises by only a few ms.
 
 import numpy as np
 
-from repro.experiments import CoexistenceConfig, format_table, run_coexistence
+from repro.experiments import SweepEngine, format_table
 
-from .conftest import scaled
+from .conftest import BENCH_JOBS, scaled
 
 SCENARIOS = ("none", "person", "device")
 INTERVALS = (200e-3, 1.0)
 
 
 def test_fig12_mobility(benchmark, emit):
+    # Grid via the sweep engine: scenarios x intervals x seeds in parallel.
+    keys = []
+    trials = []
+    for mobility in SCENARIOS:
+        for interval in INTERVALS:
+            keys.append((mobility, interval))
+            trials.append(dict(
+                mobility=mobility, burst_interval=interval,
+                n_bursts=scaled(max(10, int(5.0 / interval)), minimum=8),
+            ))
+    seeds = tuple(range(scaled(3, minimum=2)))
+
     def run():
+        engine = SweepEngine(jobs=BENCH_JOBS, cache=False)
+        sweep = engine.run_trials("coexistence", trials, seeds=seeds)
         results = {}
-        seeds = range(scaled(3, minimum=2))
-        for mobility in SCENARIOS:
-            for interval in INTERVALS:
-                runs = [
-                    run_coexistence(CoexistenceConfig(
-                        mobility=mobility, burst_interval=interval,
-                        n_bursts=scaled(max(10, int(5.0 / interval)), minimum=8),
-                        seed=seed,
-                    ))
-                    for seed in seeds
-                ]
-                results[(mobility, interval)] = runs
+        for record in sweep.records:
+            key = keys[record.index // len(seeds)]
+            results.setdefault(key, []).append(record.result)
         return results
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

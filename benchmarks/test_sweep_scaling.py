@@ -1,0 +1,65 @@
+"""Sweep engine scaling — serial vs parallel wall time on one grid.
+
+Runs the same small coexistence grid with ``jobs=1`` and with
+``jobs=BICORD_BENCH_JOBS`` (caching disabled for both so every trial
+executes), asserts the two runs are bitwise-identical, and records both
+wall times plus the speedup into the bench trajectory.  No speedup is
+*asserted*: on a single-core container process fan-out can only add
+overhead; the numbers are there to track the trend on real hardware.
+"""
+
+import time
+
+from repro.experiments import SweepEngine, SweepSpec, format_table
+from repro.serialization import canonical_dumps
+
+from .conftest import BENCH_JOBS, scaled
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        experiment="coexistence",
+        grid={
+            "scheme": ["bicord", "ecc"],
+            "burst_interval": [200e-3, 1.0],
+        },
+        base={"n_bursts": scaled(8, minimum=4)},
+        seeds=tuple(range(scaled(2, minimum=2))),
+    )
+
+
+def test_sweep_scaling(benchmark, emit):
+    spec = _spec()
+
+    serial_start = time.perf_counter()
+    serial = SweepEngine(jobs=1, cache=False).run(spec)
+    serial_time = time.perf_counter() - serial_start
+
+    def run_parallel():
+        return SweepEngine(jobs=BENCH_JOBS, cache=False).run(spec)
+
+    parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+    parallel_time = parallel.elapsed
+
+    # Determinism: the parallel run is bitwise-identical to the serial one.
+    assert len(parallel.records) == len(serial.records)
+    for s_rec, p_rec in zip(serial.records, parallel.records):
+        assert s_rec.key == p_rec.key
+        assert canonical_dumps(s_rec.result) == canonical_dumps(p_rec.result)
+    assert parallel.executed == len(parallel.records)
+
+    speedup = serial_time / parallel_time if parallel_time > 0 else float("nan")
+    benchmark.extra_info["serial_s"] = round(serial_time, 4)
+    benchmark.extra_info["parallel_s"] = round(parallel_time, 4)
+    benchmark.extra_info["jobs"] = BENCH_JOBS
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+
+    emit(
+        "sweep_scaling",
+        format_table(
+            ["trials", "jobs", "serial_s", "parallel_s", "speedup"],
+            [[len(serial.records), BENCH_JOBS, serial_time, parallel_time, speedup]],
+            title="Sweep scaling: serial vs parallel wall time",
+            float_format="{:.3f}",
+        ),
+    )

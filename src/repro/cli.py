@@ -3,40 +3,110 @@
 Examples::
 
     python -m repro.cli coexist --scheme bicord --location A --bursts 30
-    python -m repro.cli coexist --scheme ecc --ecc-whitespace 20
+    python -m repro.cli coexist --scheme ecc --seeds 4 --jobs 4
     python -m repro.cli signaling --location C --power -1 --packets 4
     python -m repro.cli learning --packets 10 --step 30
     python -m repro.cli cti
     python -m repro.cli priority --proportion 0.3 --scheme bicord
     python -m repro.cli energy
     python -m repro.cli ble --no-afh
+    python -m repro.cli sweep --experiment coexistence \
+        --param scheme=bicord,ecc --param location=A,B --seeds 2 --jobs 4
+    python -m repro.cli sweep --list
 
-Every subcommand prints a small table of the metrics the paper reports for
-that scenario.
+Every subcommand dispatches through the experiment registry
+(:mod:`repro.experiments.registry`) and prints a small table of the metrics
+the paper reports for that scenario.  ``sweep`` fans a parameter grid out
+across worker processes and memoizes finished trials on disk
+(``~/.cache/bicord/sweeps`` or ``$BICORD_SWEEP_CACHE``); re-running the
+same sweep re-executes nothing.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from .experiments import (
     CoexistenceConfig,
+    SweepEngine,
+    aggregate,
+    default_cache_dir,
+    experiment_names,
     format_table,
-    run_ble_coexistence,
-    run_coexistence,
-    run_cti_accuracy,
-    run_device_identification,
-    run_energy_trial,
-    run_learning_trial,
-    run_priority_experiment,
-    run_signaling_trial,
+    get_experiment,
+    run_experiment,
 )
+from .experiments.sweep import TrialRecord
 
 
 def _print(title: str, rows, headers=("metric", "value")) -> None:
     print(format_table(headers, rows, title=title, float_format="{:.4f}"))
+
+
+# ----------------------------------------------------------------------
+# Sweep plumbing shared by the subcommands
+# ----------------------------------------------------------------------
+def _make_engine(args: argparse.Namespace, progress=None) -> SweepEngine:
+    return SweepEngine(
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+        cache=not getattr(args, "no_cache", False),
+        progress=progress,
+    )
+
+
+def _seed_range(args: argparse.Namespace) -> range:
+    return range(args.seed, args.seed + args.seeds)
+
+
+def _sweep_stats_line(run) -> str:
+    return (
+        f"{len(run.records)} trials: {run.executed} executed, "
+        f"{run.cached_hits} cached, {run.elapsed:.2f} s wall (jobs={run.jobs})"
+    )
+
+
+def _result_metrics(result: Any) -> Dict[str, float]:
+    """Flat numeric view of any registered result (for sweep tables)."""
+    if hasattr(result, "summary"):
+        return dict(result.summary())
+    metrics: Dict[str, float] = {}
+    if hasattr(result, "pr"):  # signaling trials: surface precision/recall
+        metrics["precision"] = result.pr.precision
+        metrics["recall"] = result.pr.recall
+    for field in dataclasses.fields(result):
+        value = getattr(result, field.name)
+        if isinstance(value, (bool, int, float)):
+            metrics[field.name] = float(value)
+    return metrics
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _parse_scalar(text: str) -> Any:
+    """CLI value -> int / float / bool / str (first parse that fits)."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _parse_param(option: str) -> Dict[str, List[Any]]:
+    if "=" not in option:
+        raise argparse.ArgumentTypeError(
+            f"--param expects KEY=VALUE[,VALUE...], got {option!r}"
+        )
+    key, _, values = option.partition("=")
+    return {key.strip(): [_parse_scalar(v) for v in values.split(",") if v != ""]}
 
 
 # ----------------------------------------------------------------------
@@ -66,7 +136,25 @@ def cmd_coexist(args: argparse.Namespace) -> int:
 
         print(dumps(config))
         return 0
-    result = run_coexistence(config)
+    if args.seeds > 1:
+        from .serialization import to_dict
+
+        params = to_dict(config)
+        params.pop("seed")
+        calibration = config.calibration
+        params.pop("calibration")
+        run = _make_engine(args).run_trials(
+            "coexistence", [params], seeds=_seed_range(args), calibration=calibration,
+        )
+        agg = aggregate(run.results)
+        _print(
+            f"coexistence: {config.scheme} at location {config.location} "
+            f"(mean over {args.seeds} seeds)",
+            [[key, value] for key, value in agg.items()],
+        )
+        print(_sweep_stats_line(run))
+        return 0
+    result = run_experiment("coexistence", config=config)
     _print(
         f"coexistence: {config.scheme} at location {config.location}",
         [
@@ -85,13 +173,30 @@ def cmd_coexist(args: argparse.Namespace) -> int:
 
 
 def cmd_signaling(args: argparse.Namespace) -> int:
-    result = run_signaling_trial(
+    params = dict(
         location=args.location,
         power_dbm=args.power,
         n_control_packets=args.packets,
         n_salvos=args.salvos,
-        seed=args.seed,
     )
+    if args.seeds > 1:
+        run = _make_engine(args).run_trials(
+            "signaling", [params], seeds=_seed_range(args)
+        )
+        trials = run.results
+        _print(
+            f"signaling: location {args.location}, {args.power:+.0f} dBm, "
+            f"{args.packets} control packets (mean over {args.seeds} seeds)",
+            [
+                ["precision", _mean([t.pr.precision for t in trials])],
+                ["recall", _mean([t.pr.recall for t in trials])],
+                ["false positives", _mean([float(t.pr.false_positives) for t in trials])],
+                ["wifi PRR during trial", _mean([t.wifi_prr for t in trials])],
+            ],
+        )
+        print(_sweep_stats_line(run))
+        return 0
+    result = run_experiment("signaling", seed=args.seed, **params)
     _print(
         f"signaling: location {args.location}, {args.power:+.0f} dBm, "
         f"{args.packets} control packets",
@@ -107,12 +212,13 @@ def cmd_signaling(args: argparse.Namespace) -> int:
 
 
 def cmd_learning(args: argparse.Namespace) -> int:
-    result = run_learning_trial(
+    result = run_experiment(
+        "learning",
+        seed=args.seed,
         n_packets=args.packets,
         step=args.step * 1e-3,
         location=args.location,
         n_bursts=args.bursts,
-        seed=args.seed,
     )
     _print(
         f"white-space learning: {args.packets}-packet bursts, {args.step:.0f} ms step",
@@ -129,8 +235,8 @@ def cmd_learning(args: argparse.Namespace) -> int:
 
 
 def cmd_cti(args: argparse.Namespace) -> int:
-    cti = run_cti_accuracy(n_traces=args.traces, seed=args.seed)
-    device = run_device_identification(n_traces=args.traces, seed=args.seed)
+    cti = run_experiment("cti", seed=args.seed, n_traces=args.traces)
+    device = run_experiment("device-id", seed=args.seed, n_traces=args.traces)
     _print(
         "CTI detection",
         [
@@ -143,11 +249,12 @@ def cmd_cti(args: argparse.Namespace) -> int:
 
 
 def cmd_priority(args: argparse.Namespace) -> int:
-    result = run_priority_experiment(
-        args.scheme,
+    result = run_experiment(
+        "priority",
+        seed=args.seed,
+        scheme=args.scheme,
         high_proportion=args.proportion,
         total_duration=args.duration,
-        seed=args.seed,
     )
     _print(
         f"priority traffic: {args.scheme}, high-priority share {args.proportion}",
@@ -163,7 +270,7 @@ def cmd_priority(args: argparse.Namespace) -> int:
 
 
 def cmd_energy(args: argparse.Namespace) -> int:
-    result = run_energy_trial(n_bursts=args.bursts, seed=args.seed)
+    result = run_experiment("energy", seed=args.seed, n_bursts=args.bursts)
     _print(
         "energy overhead (paper: 10-21%)",
         [
@@ -177,8 +284,8 @@ def cmd_energy(args: argparse.Namespace) -> int:
 
 
 def cmd_ble(args: argparse.Namespace) -> int:
-    result = run_ble_coexistence(
-        afh_enabled=args.afh, duration=args.duration, seed=args.seed
+    result = run_experiment(
+        "ble", seed=args.seed, afh_enabled=args.afh, duration=args.duration
     )
     _print(
         f"ZigBee/BLE coexistence (AFH {'on' if args.afh else 'off'})",
@@ -190,6 +297,99 @@ def cmd_ble(args: argparse.Namespace) -> int:
             ["zigbee mean delay (ms)", result.zigbee_mean_delay * 1e3],
         ],
     )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = []
+        for name in experiment_names():
+            spec = get_experiment(name)
+            rows.append([name, spec.description,
+                         ", ".join(spec.param_names())])
+        print(format_table(["experiment", "description", "parameters"], rows,
+                           title="registered experiments"))
+        return 0
+    if args.clear_cache:
+        engine = _make_engine(args)
+        removed = engine.clear_cache()
+        print(f"cleared {removed} cache entries from {engine.cache_dir}")
+        if not args.experiment:
+            return 0
+    if not args.experiment:
+        print("error: --experiment is required (or use --list / --clear-cache)",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = get_experiment(args.experiment)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    grid: Dict[str, List[Any]] = {}
+    try:
+        for option in args.param or []:
+            grid.update(_parse_param(option))
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    unknown = sorted(set(grid) - set(spec.param_names()))
+    if unknown:
+        print(
+            f"error: unknown parameter(s) {unknown} for experiment "
+            f"{spec.name!r}; valid: {sorted(spec.param_names())}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def progress(record: TrialRecord, done: int, total: int) -> None:
+        if args.quiet:
+            return
+        state = "cached " if record.cached else f"{record.elapsed:6.2f}s"
+        params = " ".join(
+            f"{k}={v}" for k, v in record.params.items() if k in grid
+        )
+        print(f"  [{done}/{total}] {state}  seed={record.seed} {params}".rstrip())
+
+    from .experiments import SweepSpec
+
+    try:
+        engine = _make_engine(args, progress=progress)
+        run = engine.run(SweepSpec(
+            experiment=spec.name,
+            grid=grid,
+            seeds=tuple(_seed_range(args)),
+        ))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # One row per grid combination, metrics averaged over seeds.
+    varying = [name for name in grid if len(grid[name]) > 1]
+    combos: Dict[tuple, List[TrialRecord]] = {}
+    for record in run.records:
+        key = tuple(record.params[name] for name in varying)
+        combos.setdefault(key, []).append(record)
+    metric_names: List[str] = []
+    for records in combos.values():
+        for name in _result_metrics(records[0].result):
+            if name not in metric_names and name not in varying:
+                metric_names.append(name)
+    rows = []
+    for key, records in combos.items():
+        per_trial = [_result_metrics(r.result) for r in records]
+        rows.append(list(key) + [
+            _mean([m.get(name, 0.0) for m in per_trial]) for name in metric_names
+        ])
+    headers = varying + metric_names
+    print(format_table(
+        headers, rows,
+        title=f"sweep: {spec.name} ({args.seeds} seed(s) per combination)",
+        float_format="{:.4f}",
+    ))
+    print(_sweep_stats_line(run))
+    if engine.cache_enabled:
+        print(f"cache: {engine.cache_dir}")
     return 0
 
 
@@ -206,8 +406,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--location", choices="ABCD", default="A")
 
+    def positive_int(text):
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def sweep_flags(p):
+        p.add_argument("--seeds", type=positive_int, default=1, metavar="N",
+                       help="run N seeds (seed..seed+N-1) and report means")
+        p.add_argument("--jobs", type=positive_int, default=1,
+                       help="worker processes for multi-seed runs")
+        p.add_argument("--cache-dir", default=None,
+                       help="sweep cache directory (default: "
+                            "$BICORD_SWEEP_CACHE or ~/.cache/bicord/sweeps)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk trial cache")
+
     p = sub.add_parser("coexist", help="one coexistence run (Fig. 10/11 style)")
     common(p)
+    sweep_flags(p)
     p.add_argument("--scheme",
                    choices=("bicord", "ecc", "csma", "predictive", "slow-ctc"),
                    default="bicord")
@@ -231,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("signaling", help="precision/recall trial (Tables I-II)")
     common(p)
+    sweep_flags(p)
     p.add_argument("--power", type=float, default=0.0)
     p.add_argument("--packets", type=int, default=4)
     p.add_argument("--salvos", type=int, default=100)
@@ -266,6 +485,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--afh", dest="afh", action="store_true", default=True)
     p.add_argument("--no-afh", dest="afh", action="store_false")
     p.set_defaults(func=cmd_ble)
+
+    p = sub.add_parser(
+        "sweep",
+        help="parallel parameter sweep over any registered experiment",
+        description="Fan a parameter grid out across worker processes; "
+                    "finished trials are cached on disk and never re-run.",
+    )
+    p.add_argument("--experiment", default=None,
+                   help=f"one of: {', '.join(experiment_names())}")
+    p.add_argument("--param", action="append", metavar="KEY=V1[,V2...]",
+                   help="grid axis (repeatable); single values pin a parameter")
+    p.add_argument("--seed", type=int, default=0, help="first seed")
+    p.add_argument("--seeds", type=positive_int, default=1, metavar="N",
+                   help="seeds per grid point (seed..seed+N-1)")
+    p.add_argument("--jobs", type=positive_int, default=1,
+                   help="worker processes (1 = serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="sweep cache directory (default: "
+                        "$BICORD_SWEEP_CACHE or ~/.cache/bicord/sweeps)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk trial cache")
+    p.add_argument("--clear-cache", action="store_true",
+                   help="delete all cached trial results first")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-trial progress lines")
+    p.add_argument("--list", action="store_true",
+                   help="list registered experiments and their parameters")
+    p.set_defaults(func=cmd_sweep)
 
     return parser
 

@@ -22,7 +22,18 @@ from ..devices import ZigbeeDevice
 from ..mac.ble import BleConnection
 from ..phy.propagation import Position
 from ..traffic.generators import ZigbeeBurstSource
+from .compat import effective_seed, fold_legacy_kwargs
 from .topology import Calibration
+
+
+@dataclass
+class BleTrialConfig:
+    """Parameters of the ZigBee/BLE coexistence extension (Sec. VII-D)."""
+
+    afh_enabled: bool = True
+    duration: float = 12.0
+    connection_interval: float = 7.5e-3
+    burst_interval: float = 50e-3
 
 
 @dataclass
@@ -44,20 +55,23 @@ class BleCoexistenceResult:
 
 
 def run_ble_coexistence(
-    afh_enabled: bool = True,
-    duration: float = 12.0,
-    connection_interval: float = 7.5e-3,
-    burst_interval: float = 50e-3,
-    seed: int = 0,
+    config: Optional[BleTrialConfig] = None,
+    seed: Optional[int] = None,
     calibration: Optional[Calibration] = None,
+    **legacy,
 ) -> BleCoexistenceResult:
     """One ZigBee link + one BLE connection sharing the 2.4 GHz band."""
+    cfg = fold_legacy_kwargs("run_ble_coexistence", BleTrialConfig, config, legacy)
+    seed = effective_seed(seed)
+    afh_enabled = cfg.afh_enabled
+    duration = cfg.duration
+    burst_interval = cfg.burst_interval
     cal = calibration or Calibration()
     ctx = cal.context(seed=seed, trace_kinds=set())
 
     ble = BleConnection(
         ctx, "ble", Position(0.0, 0.0), Position(1.5, 0.0),
-        connection_interval=connection_interval,
+        connection_interval=cfg.connection_interval,
         afh_enabled=afh_enabled,
     )
     zigbee_sender = ZigbeeDevice(

@@ -31,6 +31,7 @@ from ..phy.propagation import Position
 from ..phy.rssi import RssiTrace
 from ..sim.process import Process
 from ..traffic.generators import WifiPacketSource
+from .compat import effective_seed, fold_legacy_kwargs
 from .topology import Calibration
 
 TRACE_DURATION = 5e-3
@@ -146,6 +147,13 @@ def build_cti_dataset(
 
 
 @dataclass
+class CtiTrialConfig:
+    """Parameters of the interferer-classification experiment (Sec. VII-A)."""
+
+    n_traces: int = 100
+
+
+@dataclass
 class CtiAccuracyResult:
     wifi_detection_accuracy: float  # paper: 96.39 %
     multiclass_accuracy: float
@@ -154,12 +162,15 @@ class CtiAccuracyResult:
 
 
 def run_cti_accuracy(
-    n_traces: int = 100,
-    seed: int = 0,
+    config: Optional[CtiTrialConfig] = None,
+    seed: Optional[int] = None,
     calibration: Optional[Calibration] = None,
+    **legacy,
 ) -> CtiAccuracyResult:
     """Train/test the interferer classifier on a fresh synthetic campaign."""
-    dataset = build_cti_dataset(n_traces=n_traces, seed=seed, calibration=calibration)
+    cfg = fold_legacy_kwargs("run_cti_accuracy", CtiTrialConfig, config, legacy)
+    seed = effective_seed(seed)
+    dataset = build_cti_dataset(n_traces=cfg.n_traces, seed=seed, calibration=calibration)
     rng = np.random.default_rng(seed)
     order = rng.permutation(len(dataset.features))
     split = len(order) // 2
@@ -178,6 +189,14 @@ def run_cti_accuracy(
 
 
 @dataclass
+class DeviceIdTrialConfig:
+    """Parameters of the device-identification experiment (Sec. VII-A)."""
+
+    n_traces: int = 100
+    distances: Sequence[float] = (1.0, 3.0, 5.0)
+
+
+@dataclass
 class DeviceIdResult:
     accuracy: float  # paper: 89.76 % +- 2.14
     n_devices: int
@@ -185,25 +204,31 @@ class DeviceIdResult:
 
 
 def run_device_identification(
-    n_traces: int = 100,
-    distances: Sequence[float] = (1.0, 3.0, 5.0),
-    seed: int = 0,
+    config: Optional[DeviceIdTrialConfig] = None,
+    seed: Optional[int] = None,
     calibration: Optional[Calibration] = None,
+    **legacy,
 ) -> DeviceIdResult:
     """Cluster Wi-Fi-transmitter fingerprints and score identification."""
+    cfg = fold_legacy_kwargs(
+        "run_device_identification", DeviceIdTrialConfig, config, legacy
+    )
+    seed = effective_seed(seed)
     fingerprints: List[Fingerprint] = []
     truth: List[int] = []
-    for device_idx, distance in enumerate(distances):
+    for device_idx, distance in enumerate(cfg.distances):
         traces, floor = collect_traces(
-            "wifi", distance_m=distance, n_traces=n_traces,
+            "wifi", distance_m=distance, n_traces=cfg.n_traces,
             seed=seed * 13 + device_idx, calibration=calibration,
         )
         for trace in traces:
             fingerprints.append(extract_fingerprint(trace, floor))
             truth.append(device_idx)
     identifier = DeviceIdentifier(
-        n_devices=len(distances), rng=np.random.default_rng(seed)
+        n_devices=len(cfg.distances), rng=np.random.default_rng(seed)
     )
     labels = identifier.fit(fingerprints)
     accuracy = clustering_accuracy(labels, np.asarray(truth))
-    return DeviceIdResult(accuracy=accuracy, n_devices=len(distances), n_traces=len(fingerprints))
+    return DeviceIdResult(
+        accuracy=accuracy, n_devices=len(cfg.distances), n_traces=len(fingerprints)
+    )

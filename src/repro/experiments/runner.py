@@ -4,10 +4,16 @@ Each runner assembles the Fig. 6 office from :mod:`.topology`, wires the
 scheme under test (BiCord or a baseline), drives the paper's workload, and
 returns structured results.  Benchmarks and examples call these functions;
 they never poke at devices directly.
+
+All runners share the uniform signature ``run_x(config, seed, calibration)``
+so the experiment registry (:mod:`.registry`) and the sweep engine
+(:mod:`.sweep`) can drive any of them interchangeably.  The old bare-keyword
+call forms still work through deprecation shims (see :mod:`.compat`).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -26,11 +32,13 @@ from ..core import (
     BicordConfig,
     BicordCoordinator,
     BicordNode,
+    DetectorConfig,
     ZigbeeSignalDetector,
 )
 from ..mac.frames import zigbee_control_frame
 from ..sim.process import Process
 from ..traffic.generators import PriorityWifiSource, WifiPacketSource, ZigbeeBurstSource
+from .compat import effective_seed, fold_legacy_kwargs
 from .metrics import AirtimeProbe, CoexistenceResult, PrecisionRecall
 from .topology import (
     Calibration,
@@ -47,6 +55,18 @@ SCHEMES = ("bicord", "ecc", "csma", "predictive", "slow-ctc")
 # Cross-technology signaling quality (Tables I and II)
 # ======================================================================
 @dataclass
+class SignalingTrialConfig:
+    """Parameters of one precision/recall trial (Sec. VIII-B)."""
+
+    location: str = "A"
+    power_dbm: float = 0.0
+    n_control_packets: int = 4
+    n_salvos: int = 200
+    salvo_gap: float = 16e-3
+    detector_config: Optional[DetectorConfig] = None
+
+
+@dataclass
 class SignalingTrialResult:
     location: str
     power_dbm: float
@@ -56,14 +76,10 @@ class SignalingTrialResult:
 
 
 def run_signaling_trial(
-    location: str = "A",
-    power_dbm: float = 0.0,
-    n_control_packets: int = 4,
-    n_salvos: int = 200,
-    salvo_gap: float = 16e-3,
-    seed: int = 0,
+    config: Optional[SignalingTrialConfig] = None,
+    seed: Optional[int] = None,
     calibration: Optional[Calibration] = None,
-    detector_config=None,
+    **legacy,
 ) -> SignalingTrialResult:
     """Measure signaling precision/recall at one (location, power, count).
 
@@ -73,14 +89,19 @@ def run_signaling_trial(
     white spaces are granted (we only measure detection quality, as in
     Sec. VIII-B).
     """
-    office = build_office(seed=seed, location=location, calibration=calibration)
+    cfg = fold_legacy_kwargs(
+        "run_signaling_trial", SignalingTrialConfig, config, legacy,
+        positional_str_field="location",
+    )
+    seed = effective_seed(seed)
+    office = build_office(seed=seed, location=cfg.location, calibration=calibration)
     ctx = office.ctx
     cal = office.calibration
     WifiPacketSource(
         ctx, office.wifi_sender.mac, "F",
         payload_bytes=cal.wifi_payload_bytes, interval=cal.wifi_interval,
     )
-    detector = ZigbeeSignalDetector(detector_config)
+    detector = ZigbeeSignalDetector(cfg.detector_config)
     office.wifi_receiver.csi.subscribe(detector.observe)
     detections: List[float] = []
     detector.on_detection.append(detections.append)
@@ -92,22 +113,22 @@ def run_signaling_trial(
     def salvo_driver():
         # Let Wi-Fi traffic and the CSI baseline settle first.
         yield 50e-3
-        for _ in range(n_salvos):
+        for _ in range(cfg.n_salvos):
             start = ctx.sim.now
-            for i in range(n_control_packets):
+            for i in range(cfg.n_control_packets):
                 control = zigbee_control_frame("ZS", 120)
                 ctx.sim.schedule(
                     i * (control_duration + 0.2e-3),
-                    zs_mac.send_forced, control, power_dbm,
+                    zs_mac.send_forced, control, cfg.power_dbm,
                 )
-            salvo_span = n_control_packets * (control_duration + 0.2e-3)
+            salvo_span = cfg.n_control_packets * (control_duration + 0.2e-3)
             # Detections may trail the salvo by one detector window.
             windows.append((start, start + salvo_span + 5e-3))
-            yield salvo_span + salvo_gap
+            yield salvo_span + cfg.salvo_gap
 
     driver = Process(ctx.sim, salvo_driver(), name="salvo-driver")
-    horizon = 0.1 + n_salvos * (
-        n_control_packets * (control_duration + 0.5e-3) + salvo_gap
+    horizon = 0.1 + cfg.n_salvos * (
+        cfg.n_control_packets * (control_duration + 0.5e-3) + cfg.salvo_gap
     )
     ctx.sim.run(until=horizon)
     driver.stop()
@@ -134,7 +155,9 @@ def run_signaling_trial(
     sender_mac = office.wifi_sender.mac
     sent = max(sender_mac.data_sent, 1)
     prr = sender_mac.data_delivered / sent
-    return SignalingTrialResult(location, power_dbm, n_control_packets, pr, prr)
+    return SignalingTrialResult(
+        cfg.location, cfg.power_dbm, cfg.n_control_packets, pr, prr
+    )
 
 
 # ======================================================================
@@ -195,8 +218,26 @@ def _attach_device_mobility(office: Office) -> None:
     Process(office.ctx.sim, wander(), name="device-mobility")
 
 
-def run_coexistence(config: CoexistenceConfig) -> CoexistenceResult:
-    """Run one coexistence scenario and report the paper's metrics."""
+def run_coexistence(
+    config: Optional[CoexistenceConfig] = None,
+    seed: Optional[int] = None,
+    calibration: Optional[Calibration] = None,
+    **legacy,
+) -> CoexistenceResult:
+    """Run one coexistence scenario and report the paper's metrics.
+
+    ``seed`` and ``calibration``, when given, override the config's own
+    ``seed``/``calibration`` fields (the registry always passes them
+    explicitly so every experiment shares one seeding convention).
+    """
+    config = fold_legacy_kwargs("run_coexistence", CoexistenceConfig, config, legacy)
+    overrides = {}
+    if seed is not None:
+        overrides["seed"] = int(seed)
+    if calibration is not None:
+        overrides["calibration"] = calibration
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
     office = build_office(
         seed=config.seed, location=config.location, calibration=config.calibration
     )
@@ -291,6 +332,18 @@ def run_coexistence(config: CoexistenceConfig) -> CoexistenceResult:
 # Learning-phase behaviour (Figs. 7, 8, 9)
 # ======================================================================
 @dataclass
+class LearningTrialConfig:
+    """Parameters of one white-space learning observation (Sec. VIII-C)."""
+
+    n_packets: int = 10
+    step: float = 30e-3
+    location: str = "A"
+    payload_bytes: int = 50
+    burst_interval: float = 200e-3
+    n_bursts: int = 15
+
+
+@dataclass
 class LearningTrialResult:
     n_packets: int
     step: float
@@ -303,61 +356,71 @@ class LearningTrialResult:
 
 
 def run_learning_trial(
-    n_packets: int = 10,
-    step: float = 30e-3,
-    location: str = "A",
-    payload_bytes: int = 50,
-    burst_interval: float = 200e-3,
-    n_bursts: int = 15,
-    seed: int = 0,
+    config: Optional[LearningTrialConfig] = None,
+    seed: Optional[int] = None,
     calibration: Optional[Calibration] = None,
+    **legacy,
 ) -> LearningTrialResult:
     """Observe the white-space learning process for one traffic pattern."""
-    config = BicordConfig()
-    config.allocator.initial_whitespace = step
-    office = build_office(seed=seed, location=location, calibration=calibration)
+    cfg = fold_legacy_kwargs("run_learning_trial", LearningTrialConfig, config, legacy)
+    seed = effective_seed(seed)
+    bicord_config = BicordConfig()
+    bicord_config.allocator.initial_whitespace = cfg.step
+    office = build_office(seed=seed, location=cfg.location, calibration=calibration)
     ctx = office.ctx
     cal = office.calibration
     WifiPacketSource(
         ctx, office.wifi_sender.mac, "F",
         payload_bytes=cal.wifi_payload_bytes, interval=cal.wifi_interval,
     )
-    coordinator = BicordCoordinator(office.wifi_receiver, config=config)
+    coordinator = BicordCoordinator(office.wifi_receiver, config=bicord_config)
     node = BicordNode(
-        office.zigbee_sender, "ZR", config=config,
-        powermap=location_powermap(location),
+        office.zigbee_sender, "ZR", config=bicord_config,
+        powermap=location_powermap(cfg.location),
     )
     ZigbeeBurstSource(
-        ctx, node.offer_burst, n_packets=n_packets, payload_bytes=payload_bytes,
-        interval_mean=burst_interval, poisson=False, max_bursts=n_bursts,
+        ctx, node.offer_burst, n_packets=cfg.n_packets,
+        payload_bytes=cfg.payload_bytes,
+        interval_mean=cfg.burst_interval, poisson=False, max_bursts=cfg.n_bursts,
     )
-    ctx.sim.run(until=n_bursts * burst_interval + 1.0)
+    ctx.sim.run(until=cfg.n_bursts * cfg.burst_interval + 1.0)
     coordinator.stop()
     # Data airtime one burst needs (for over-provision accounting, Fig. 9):
     # packet exchange = frame + ACK + 2 turnarounds + pacing gap.
     from ..mac.frames import zigbee_ack_frame, zigbee_data_frame
 
     exchange = (
-        zigbee_data_frame("ZS", "ZR", payload_bytes).duration()
+        zigbee_data_frame("ZS", "ZR", cfg.payload_bytes).duration()
         + zigbee_ack_frame("ZR", "ZS", 0).duration()
         + 2 * 192e-6
-        + config.signaling.inter_packet_gap
+        + bicord_config.signaling.inter_packet_gap
     )
     return LearningTrialResult(
-        n_packets=n_packets,
-        step=step,
-        location=location,
+        n_packets=cfg.n_packets,
+        step=cfg.step,
+        location=cfg.location,
         iterations=coordinator.allocator.learning_iterations,
         converged=coordinator.allocator.converged,
         final_whitespace=coordinator.allocator.current_whitespace,
         trajectory=coordinator.allocator.whitespace_trajectory(),
-        burst_airtime=n_packets * exchange,
+        burst_airtime=cfg.n_packets * exchange,
     )
 
 
 # ======================================================================
 # Priority traffic (Fig. 13)
 # ======================================================================
+@dataclass
+class PriorityTrialConfig:
+    """Parameters of the prioritized Wi-Fi traffic scenario (Sec. VIII-G)."""
+
+    scheme: str = "bicord"
+    high_proportion: float = 0.3
+    total_duration: float = 10.0
+    ecc_whitespace: float = 20e-3
+    location: str = "A"
+
+
 @dataclass
 class PriorityResult:
     scheme: str
@@ -370,39 +433,41 @@ class PriorityResult:
 
 
 def run_priority_experiment(
-    scheme: str = "bicord",
-    high_proportion: float = 0.3,
-    total_duration: float = 10.0,
-    ecc_whitespace: float = 20e-3,
-    location: str = "A",
-    seed: int = 0,
+    config: Optional[PriorityTrialConfig] = None,
+    seed: Optional[int] = None,
     calibration: Optional[Calibration] = None,
+    **legacy,
 ) -> PriorityResult:
     """Sec. VIII-G: Wi-Fi mixes video (high) and file (low) traffic.
 
     The coordinator ignores ZigBee requests while the Wi-Fi device is in a
     high-priority phase.
     """
-    office = build_office(seed=seed, location=location, calibration=calibration)
+    cfg = fold_legacy_kwargs(
+        "run_priority_experiment", PriorityTrialConfig, config, legacy,
+        positional_str_field="scheme",
+    )
+    seed = effective_seed(seed)
+    office = build_office(seed=seed, location=cfg.location, calibration=calibration)
     ctx = office.ctx
     cal = office.calibration
     source = PriorityWifiSource(
         ctx, office.wifi_sender.mac, "F",
-        high_proportion=high_proportion, total_duration=total_duration,
+        high_proportion=cfg.high_proportion, total_duration=cfg.total_duration,
         payload_bytes=cal.wifi_payload_bytes, interval=cal.wifi_interval,
     )
 
     def policy() -> bool:
         return source.current_priority == 0
 
-    if scheme == "bicord":
+    if cfg.scheme == "bicord":
         coordinator = BicordCoordinator(office.wifi_receiver, grant_policy=policy)
         node = BicordNode(
-            office.zigbee_sender, "ZR", powermap=location_powermap(location)
+            office.zigbee_sender, "ZR", powermap=location_powermap(cfg.location)
         )
-    elif scheme == "ecc":
+    elif cfg.scheme == "ecc":
         coordinator = EccCoordinator(
-            office.wifi_receiver, whitespace=ecc_whitespace, grant_policy=policy
+            office.wifi_receiver, whitespace=cfg.ecc_whitespace, grant_policy=policy
         )
         node = EccNode(office.zigbee_sender, "ZR")
         coordinator.register(node)
@@ -412,21 +477,21 @@ def run_priority_experiment(
     ZigbeeBurstSource(
         ctx, node.offer_burst, n_packets=5, payload_bytes=50,
         interval_mean=200e-3, poisson=True,
-        max_bursts=int(total_duration / 0.2),
+        max_bursts=int(cfg.total_duration / 0.2),
     )
     probe = AirtimeProbe(
         wifi_radios=[office.wifi_sender.radio, office.wifi_receiver.radio],
         zigbee_radios=[office.zigbee_sender.radio, office.zigbee_receiver.radio],
     )
     probe.start(0.0)
-    ctx.sim.run(until=total_duration + 0.5)
+    ctx.sim.run(until=cfg.total_duration + 0.5)
     coordinator.stop()
-    snapshot = probe.snapshot(total_duration)
+    snapshot = probe.snapshot(cfg.total_duration)
     low = [d for d, p in office.wifi_sender.mac.delay_records if p == 0]
     high = [d for d, p in office.wifi_sender.mac.delay_records if p > 0]
     return PriorityResult(
-        scheme=scheme,
-        high_proportion=high_proportion,
+        scheme=cfg.scheme,
+        high_proportion=cfg.high_proportion,
         utilization=snapshot.channel_utilization,
         zigbee_utilization=snapshot.zigbee_utilization,
         low_priority_wifi_delay=float(np.mean(low)) if low else 0.0,
@@ -439,6 +504,15 @@ def run_priority_experiment(
 # Energy overhead (Sec. VII-B)
 # ======================================================================
 @dataclass
+class EnergyTrialConfig:
+    """Parameters of the energy-overhead comparison (Sec. VII-B)."""
+
+    n_packets: int = 10
+    payload_bytes: int = 120
+    n_bursts: int = 10
+
+
+@dataclass
 class EnergyResult:
     bicord_mj: float
     clear_channel_mj: float
@@ -447,13 +521,14 @@ class EnergyResult:
 
 
 def run_energy_trial(
-    n_packets: int = 10,
-    payload_bytes: int = 120,
-    n_bursts: int = 10,
-    seed: int = 0,
+    config: Optional[EnergyTrialConfig] = None,
+    seed: Optional[int] = None,
     calibration: Optional[Calibration] = None,
+    **legacy,
 ) -> EnergyResult:
     """Energy of delivering bursts under Wi-Fi (BiCord) vs a clear channel."""
+    cfg = fold_legacy_kwargs("run_energy_trial", EnergyTrialConfig, config, legacy)
+    seed = effective_seed(seed)
 
     def one(with_wifi: bool) -> Tuple[float, int]:
         office = build_office(seed=seed, location="A", calibration=calibration)
@@ -469,10 +544,11 @@ def run_energy_trial(
             office.zigbee_sender, "ZR", powermap=location_powermap("A")
         )
         ZigbeeBurstSource(
-            ctx, node.offer_burst, n_packets=n_packets, payload_bytes=payload_bytes,
-            interval_mean=300e-3, poisson=False, max_bursts=n_bursts,
+            ctx, node.offer_burst, n_packets=cfg.n_packets,
+            payload_bytes=cfg.payload_bytes,
+            interval_mean=300e-3, poisson=False, max_bursts=cfg.n_bursts,
         )
-        ctx.sim.run(until=n_bursts * 0.3 + 1.0)
+        ctx.sim.run(until=cfg.n_bursts * 0.3 + 1.0)
         return office.zigbee_sender.energy.total_mj, node.control_packets_sent
 
     bicord_mj, control = one(with_wifi=True)

@@ -1,0 +1,396 @@
+"""Parallel sweep engine with deterministic on-disk result caching.
+
+Every paper figure is a sweep — seeds x locations x schemes x parameter
+values.  :class:`SweepEngine` runs such grids through the experiment
+registry, fanning trials out across worker processes
+(``concurrent.futures.ProcessPoolExecutor``) with a serial in-process
+fallback for ``jobs=1``.  Because each trial builds its own simulation
+context from its own seed, a parallel sweep is bitwise-identical to a
+serial one — only wall-clock time changes.
+
+Completed trials are memoized in a content-addressed cache: the key is a
+SHA-256 over (experiment name, fully-resolved config, seed, calibration,
+code version), so re-running a sweep — or resuming one that died halfway —
+re-executes nothing that already finished, while any config change hashes
+to a different address and forces a fresh run.
+
+Cache location: ``$BICORD_SWEEP_CACHE`` if set, else
+``~/.cache/bicord/sweeps``.  Entries are small JSON files; deleting the
+directory (or calling :meth:`SweepEngine.clear_cache`) is always safe.
+
+::
+
+    from repro.experiments import SweepEngine, SweepSpec
+
+    spec = SweepSpec(
+        experiment="coexistence",
+        grid={"scheme": ("bicord", "ecc"), "location": ("A", "B")},
+        base={"n_bursts": 20},
+        seeds=(0, 1, 2),
+    )
+    run = SweepEngine(jobs=4).run(spec)
+    run.results            # one CoexistenceResult per (grid point, seed)
+    run.cached_hits        # trials served from the cache
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .. import __version__ as _CODE_VERSION
+from ..serialization import canonical_dumps, from_dict, stable_hash, to_dict
+from .registry import get_experiment, resolve_config, run_experiment
+from .topology import Calibration
+
+#: Bump when the cache entry layout changes (invalidates old entries).
+CACHE_SCHEMA = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: $BICORD_SWEEP_CACHE or ~/.cache/bicord/sweeps."""
+    env = os.environ.get("BICORD_SWEEP_CACHE")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/bicord/sweeps").expanduser()
+
+
+def expand_grid(
+    grid: Mapping[str, Sequence[Any]],
+    base: Optional[Mapping[str, Any]] = None,
+) -> List[Dict[str, Any]]:
+    """Cartesian product of a parameter grid, merged over ``base``.
+
+    Axis order follows the mapping's insertion order, values keep their
+    given order, so the expansion is deterministic.  An empty grid yields
+    exactly one trial (the base parameters).
+    """
+    base = dict(base or {})
+    axes: List[Tuple[str, List[Any]]] = []
+    for name, values in grid.items():
+        if isinstance(values, (str, bytes)) or not isinstance(values, (list, tuple)):
+            raise TypeError(
+                f"grid axis {name!r} must be a list/tuple of values, "
+                f"got {type(values).__name__}: {values!r}"
+            )
+        if not values:
+            raise ValueError(f"grid axis {name!r} has no values")
+        axes.append((name, list(values)))
+    combos = itertools.product(*(values for _, values in axes))
+    names = [name for name, _ in axes]
+    return [{**base, **dict(zip(names, combo))} for combo in combos]
+
+
+def trial_key(
+    experiment: str,
+    params: Mapping[str, Any],
+    seed: int,
+    calibration: Optional[Calibration] = None,
+    code_version: Optional[str] = None,
+) -> str:
+    """Content address of one trial.
+
+    Hashes the *fully-resolved* config (partial params merged over the
+    experiment's defaults), so ``{"n_bursts": 40}`` and an explicit config
+    carrying the same values share one cache entry — and any field change,
+    including a default changing in a new code version, misses.
+    """
+    spec = get_experiment(experiment)
+    resolved = to_dict(spec.make_config(**dict(params)))
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "code": code_version if code_version is not None else _CODE_VERSION,
+        "experiment": spec.name,
+        "config": resolved,
+        "seed": int(seed),
+        "calibration": to_dict(calibration if calibration is not None else Calibration()),
+    }
+    return stable_hash(payload)
+
+
+@dataclass
+class TrialRecord:
+    """One completed trial inside a sweep."""
+
+    index: int
+    experiment: str
+    params: Dict[str, Any]
+    seed: int
+    key: str
+    result: Any
+    elapsed: float  # seconds the trial took when it actually executed
+    cached: bool  # served from the on-disk cache?
+
+
+@dataclass
+class SweepRun:
+    """A finished sweep: ordered records plus execution statistics."""
+
+    experiment: str
+    records: List[TrialRecord]
+    elapsed: float  # wall-clock of the whole sweep
+    executed: int  # trials actually run this time
+    cached_hits: int  # trials served from the cache
+    jobs: int
+
+    @property
+    def results(self) -> List[Any]:
+        return [record.result for record in self.records]
+
+    def group_by(self, *param_names: str) -> Dict[Tuple[Any, ...], List[TrialRecord]]:
+        """Records bucketed by the values of the named parameters (in order)."""
+        groups: Dict[Tuple[Any, ...], List[TrialRecord]] = {}
+        for record in self.records:
+            key = tuple(record.params.get(name) for name in param_names)
+            groups.setdefault(key, []).append(record)
+        return groups
+
+    def combos(self) -> Dict[Tuple[Tuple[str, Any], ...], List[TrialRecord]]:
+        """Records bucketed by their full parameter combination (seeds merged)."""
+        groups: Dict[Tuple[Tuple[str, Any], ...], List[TrialRecord]] = {}
+        for record in self.records:
+            key = tuple(sorted(
+                (name, value) for name, value in record.params.items()
+                if isinstance(value, (str, int, float, bool)) or value is None
+            ))
+            groups.setdefault(key, []).append(record)
+        return groups
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a sweep over one experiment."""
+
+    experiment: str
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    base: Mapping[str, Any] = field(default_factory=dict)
+    seeds: Sequence[int] = (0,)
+    calibration: Optional[Calibration] = None
+
+
+def _execute_trial(
+    experiment: str,
+    params: Dict[str, Any],
+    seed: int,
+    calibration: Optional[Calibration],
+) -> Tuple[Any, float]:
+    """Worker entry point: run one trial, returning (result, elapsed).
+
+    Top-level so ``ProcessPoolExecutor`` can pickle it by reference; also
+    used verbatim by the serial path, which keeps the two modes identical.
+    """
+    start = time.perf_counter()
+    result = run_experiment(experiment, seed=seed, calibration=calibration, **params)
+    return result, time.perf_counter() - start
+
+
+ProgressCallback = Callable[[TrialRecord, int, int], None]
+
+
+class SweepEngine:
+    """Runs parameter sweeps through the registry, in parallel, memoized.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs serially in-process —
+        no pickling, easier debugging, identical results.
+    cache_dir / cache:
+        Where trial results are memoized; ``cache=False`` disables
+        memoization entirely (benchmarks measuring wall time want this).
+    progress:
+        ``callback(record, n_done, n_total)`` invoked as each trial
+        completes (including cache hits), in completion order.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[os.PathLike] = None,
+        cache: bool = True,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.cache_enabled = bool(cache)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def _cache_load(self, key: str, result_cls: type) -> Optional[Tuple[Any, float]]:
+        if not self.cache_enabled:
+            return None
+        path = self._entry_path(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if data.get("schema") != CACHE_SCHEMA:
+                return None
+            if data.get("result_type") != result_cls.__name__:
+                return None
+            result = from_dict(result_cls, data["result"])
+            return result, float(data.get("elapsed", 0.0))
+        except (OSError, ValueError, TypeError, KeyError):
+            # Missing or corrupt entry: treat as a miss, never as an error.
+            return None
+
+    def _cache_store(
+        self, key: str, experiment: str, params: Dict[str, Any],
+        seed: int, result: Any, elapsed: float,
+    ) -> None:
+        if not self.cache_enabled:
+            return
+        try:
+            entry = {
+                "schema": CACHE_SCHEMA,
+                "code": _CODE_VERSION,
+                "experiment": experiment,
+                "config": to_dict(resolve_config(experiment, **params)),
+                "seed": int(seed),
+                "result_type": type(result).__name__,
+                "elapsed": float(elapsed),
+                "result": to_dict(result),
+            }
+        except TypeError as exc:
+            warnings.warn(f"sweep result not cacheable: {exc}", RuntimeWarning)
+            return
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)  # atomic: concurrent writers both win
+
+    def clear_cache(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for entry in self.cache_dir.glob("*/*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec, jobs: Optional[int] = None) -> SweepRun:
+        """Expand a :class:`SweepSpec` grid and run every (params, seed)."""
+        params_list = expand_grid(spec.grid, spec.base)
+        return self.run_trials(
+            spec.experiment, params_list,
+            seeds=spec.seeds, calibration=spec.calibration, jobs=jobs,
+        )
+
+    def run_trials(
+        self,
+        experiment: str,
+        params_list: Sequence[Mapping[str, Any]],
+        seeds: Sequence[int] = (0,),
+        calibration: Optional[Calibration] = None,
+        jobs: Optional[int] = None,
+    ) -> SweepRun:
+        """Run an explicit trial list (each params dict x each seed).
+
+        This is the lower-level entry the benchmarks use when their grids
+        are not cartesian (e.g. Fig. 10 scales burst counts per interval).
+        """
+        spec = get_experiment(experiment)
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        tasks: List[Tuple[int, Dict[str, Any], int, str]] = []
+        index = 0
+        for params in params_list:
+            reserved = {"seed", "calibration"} & set(params)
+            if reserved:
+                raise ValueError(
+                    f"trial params may not contain {sorted(reserved)}; "
+                    "use the seeds=/calibration= arguments instead"
+                )
+            for seed in seeds:
+                trial_params = dict(params)
+                key = trial_key(experiment, trial_params, seed, calibration)
+                tasks.append((index, trial_params, int(seed), key))
+                index += 1
+
+        start = time.perf_counter()
+        total = len(tasks)
+        done = 0
+        records: Dict[int, TrialRecord] = {}
+        pending: List[Tuple[int, Dict[str, Any], int, str]] = []
+
+        def finish(record: TrialRecord) -> None:
+            nonlocal done
+            records[record.index] = record
+            done += 1
+            if not record.cached:
+                self._cache_store(
+                    record.key, spec.name, record.params, record.seed,
+                    record.result, record.elapsed,
+                )
+            if self.progress is not None:
+                self.progress(record, done, total)
+
+        # Pass 1: serve everything the cache already has.
+        for idx, params, seed, key in tasks:
+            hit = self._cache_load(key, spec.result_cls)
+            if hit is not None:
+                result, elapsed = hit
+                finish(TrialRecord(idx, spec.name, params, seed, key,
+                                   result, elapsed, cached=True))
+            else:
+                pending.append((idx, params, seed, key))
+
+        # Pass 2: execute the misses, serially or across worker processes.
+        if pending and (jobs == 1 or len(pending) == 1):
+            for idx, params, seed, key in pending:
+                result, elapsed = _execute_trial(spec.name, params, seed, calibration)
+                finish(TrialRecord(idx, spec.name, params, seed, key,
+                                   result, elapsed, cached=False))
+        elif pending:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_trial, spec.name, params, seed, calibration):
+                        (idx, params, seed, key)
+                    for idx, params, seed, key in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        idx, params, seed, key = futures[future]
+                        result, elapsed = future.result()
+                        finish(TrialRecord(idx, spec.name, params, seed, key,
+                                           result, elapsed, cached=False))
+
+        ordered = [records[idx] for idx, *_ in tasks]
+        return SweepRun(
+            experiment=spec.name,
+            records=ordered,
+            elapsed=time.perf_counter() - start,
+            executed=len(pending),
+            cached_hits=total - len(pending),
+            jobs=jobs,
+        )

@@ -10,13 +10,20 @@ Only what the configs actually use is supported: dataclasses, numbers,
 strings, booleans, None, and lists/tuples/dicts of those.  Unknown keys are
 rejected loudly — a typo in a config file must not silently fall back to a
 default.
+
+The same machinery powers the sweep cache (:mod:`repro.experiments.sweep`):
+`canonical_dumps` renders any supported object to a byte-stable JSON string
+(sorted keys, no whitespace) and `stable_hash` turns that into a content
+address, so equal configs always map to the same cache entry across
+processes and interpreter runs.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
-from typing import Any, Dict, Type, TypeVar, get_args, get_origin, get_type_hints
+from typing import Any, Dict, Type, TypeVar, Union, get_args, get_origin, get_type_hints
 
 T = TypeVar("T")
 
@@ -34,6 +41,12 @@ def to_dict(obj: Any) -> Any:
         return [to_dict(item) for item in obj]
     if isinstance(obj, (str, int, float, bool)) or obj is None:
         return obj
+    if type(obj).__module__ == "numpy":
+        # numpy scalars (and small arrays) leak into results via np.mean etc.
+        if getattr(obj, "ndim", None) == 0:
+            return to_dict(obj.item())
+        if callable(getattr(obj, "tolist", None)):
+            return to_dict(obj.tolist())
     raise TypeError(f"cannot serialize {type(obj).__name__}: {obj!r}")
 
 
@@ -69,6 +82,14 @@ def _coerce(target: Any, value: Any) -> Any:
     if target is not None and dataclasses.is_dataclass(target):
         return from_dict(target, value)
     origin = get_origin(target)
+    if origin is Union:
+        # Optional[X] (and small unions): coerce through the first matching arm.
+        if value is None:
+            return None
+        inner = [arg for arg in get_args(target) if arg is not type(None)]
+        if len(inner) == 1:
+            return _coerce(inner[0], value)
+        return value
     if origin in (list, tuple) and isinstance(value, list):
         args = get_args(target)
         inner = args[0] if args else None
@@ -89,3 +110,19 @@ def dumps(obj: Any, **kwargs: Any) -> str:
 def loads(cls: Type[T], text: str) -> T:
     """Deserialize a JSON string into a dataclass of type ``cls``."""
     return from_dict(cls, json.loads(text))
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Byte-stable JSON rendering: sorted keys, no whitespace.
+
+    Two structurally-equal objects (dataclass instances, dicts, lists, ...)
+    always render to the identical string, which makes the output safe to
+    hash and to compare across processes.
+    """
+    return json.dumps(to_dict(obj), sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(obj: Any, length: int = 64) -> str:
+    """Content address of ``obj``: SHA-256 over its canonical JSON form."""
+    digest = hashlib.sha256(canonical_dumps(obj).encode("utf-8")).hexdigest()
+    return digest[:length]

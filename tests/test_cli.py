@@ -56,3 +56,101 @@ def test_priority_command(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "high-priority wifi delay" in out
+
+
+# ----------------------------------------------------------------------
+# Multi-seed flags and the sweep subcommand
+# ----------------------------------------------------------------------
+def test_coexist_multi_seed_aggregates(tmp_path, capsys):
+    code = main(["coexist", "--bursts", "4", "--seeds", "2", "--jobs", "2",
+                 "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "mean over 2 seeds" in out
+    assert "2 trials: 2 executed, 0 cached" in out
+    # Second invocation is served entirely from the cache.
+    code = main(["coexist", "--bursts", "4", "--seeds", "2",
+                 "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 executed, 2 cached" in out
+
+
+def test_signaling_multi_seed(tmp_path, capsys):
+    code = main(["signaling", "--salvos", "6", "--seeds", "2",
+                 "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "mean over 2 seeds" in out
+    assert "precision" in out and "recall" in out
+
+
+def test_sweep_list(capsys):
+    code = main(["sweep", "--list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for name in ("coexistence", "signaling", "learning", "priority",
+                 "energy", "cti", "device-id", "ble"):
+        assert name in out
+
+
+def test_sweep_runs_grid_and_caches(tmp_path, capsys):
+    argv = ["sweep", "--experiment", "learning",
+            "--param", "n_packets=3,5", "--param", "n_bursts=4",
+            "--seeds", "2", "--cache-dir", str(tmp_path)]
+    code = main(argv)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "4 trials: 4 executed, 0 cached" in out
+    code = main(argv)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "4 trials: 0 executed, 4 cached" in out
+
+
+def test_sweep_unknown_experiment_errors(capsys):
+    code = main(["sweep", "--experiment", "quantum"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown experiment" in err
+
+
+def test_sweep_unknown_param_errors(capsys):
+    code = main(["sweep", "--experiment", "learning", "--param", "warp=9"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown parameter" in err
+
+
+def test_sweep_requires_experiment(capsys):
+    code = main(["sweep"])
+    assert code == 2
+
+
+def test_sweep_malformed_param_errors(capsys):
+    code = main(["sweep", "--experiment", "learning", "--param", "n_packets"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "KEY=VALUE" in err
+    code = main(["sweep", "--experiment", "learning", "--param", "n_packets="])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "no values" in err
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "--experiment", "learning",
+                                   "--jobs", "0"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["coexist", "--seeds", "-1"])
+
+
+def test_sweep_clear_cache(tmp_path, capsys):
+    main(["sweep", "--experiment", "learning", "--param", "n_bursts=3",
+          "--param", "n_packets=3", "--cache-dir", str(tmp_path), "--quiet"])
+    capsys.readouterr()
+    code = main(["sweep", "--clear-cache", "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cleared 1 cache entries" in out
