@@ -7,7 +7,8 @@ the quickstart example, or the pre-wired scenarios in
 """
 
 from .context import SimContext, build_context
+from .faults import FaultPlan
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["SimContext", "build_context", "__version__"]
+__all__ = ["SimContext", "FaultPlan", "build_context", "__version__"]

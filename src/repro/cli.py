@@ -112,12 +112,23 @@ def _parse_param(option: str) -> Dict[str, List[Any]]:
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
+def _load_fault_plan(path: str):
+    """Load a FaultPlan from a JSON file of field overrides."""
+    from .faults import FaultPlan
+    from .serialization import loads
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(FaultPlan, handle.read())
+
+
 def cmd_coexist(args: argparse.Namespace) -> int:
     if args.config:
         from .serialization import loads
 
         with open(args.config, "r", encoding="utf-8") as handle:
             config = loads(CoexistenceConfig, handle.read())
+        if args.faults:
+            config = dataclasses.replace(config, faults=_load_fault_plan(args.faults))
     else:
         config = CoexistenceConfig(
             scheme=args.scheme,
@@ -130,6 +141,7 @@ def cmd_coexist(args: argparse.Namespace) -> int:
             n_bursts=args.bursts,
             ecc_whitespace=args.ecc_whitespace * 1e-3,
             mobility=args.mobility,
+            faults=_load_fault_plan(args.faults) if args.faults else None,
         )
     if args.dump_config:
         from .serialization import dumps
@@ -169,6 +181,11 @@ def cmd_coexist(args: argparse.Namespace) -> int:
             ["white spaces issued", float(result.whitespaces_issued)],
         ],
     )
+    injected = {k: v for k, v in result.extra.items() if k.startswith("fault_")}
+    if injected:
+        print("injected faults: " + ", ".join(
+            f"{name[len('fault_'):]}={int(count)}" for name, count in sorted(injected.items())
+        ))
     return 0
 
 
@@ -296,6 +313,44 @@ def cmd_ble(args: argparse.Namespace) -> int:
             ["zigbee delivery ratio", result.zigbee_delivery_ratio],
             ["zigbee mean delay (ms)", result.zigbee_mean_delay * 1e3],
         ],
+    )
+    return 0
+
+
+def cmd_robustness(args: argparse.Namespace) -> int:
+    from .experiments import robustness_curve
+
+    rates = [float(r) for r in args.rates.split(",") if r != ""]
+    for rate in rates:
+        if not 0.0 <= rate <= 1.0:
+            print(f"error: rates must be in [0, 1], got {rate}", file=sys.stderr)
+            return 2
+    base = {
+        "scheme": args.scheme,
+        "location": args.location,
+        "n_bursts": args.bursts,
+    }
+    points = robustness_curve(
+        dimension=args.dimension,
+        rates=rates,
+        seeds=tuple(_seed_range(args)),
+        base=base,
+        engine=_make_engine(args),
+    )
+    rows = [
+        [
+            point["rate"], point["prr_mean"], point["prr_min"],
+            point["mean_delay"] * 1e3, point["p95_delay"] * 1e3,
+            point["throughput_bps"] / 1e3,
+        ]
+        for point in points
+    ]
+    _print(
+        f"robustness: {args.scheme} vs {args.dimension} faults "
+        f"({args.seeds} seed(s) per rate)",
+        rows,
+        headers=("rate", "prr mean", "prr min", "mean delay (ms)",
+                 "p95 delay (ms)", "throughput (kbps)"),
     )
     return 0
 
@@ -443,6 +498,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", metavar="FILE",
                    help="load the full CoexistenceConfig from a JSON file "
                         "(overrides the other options)")
+    p.add_argument("--faults", metavar="FILE",
+                   help="JSON file of FaultPlan fields to inject "
+                        "(e.g. {\"detection_fn_rate\": 0.2})")
     p.add_argument("--dump-config", action="store_true",
                    help="print the effective config as JSON and exit")
     p.set_defaults(func=cmd_coexist)
@@ -485,6 +543,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--afh", dest="afh", action="store_true", default=True)
     p.add_argument("--no-afh", dest="afh", action="store_false")
     p.set_defaults(func=cmd_ble)
+
+    p = sub.add_parser(
+        "robustness",
+        help="PRR/latency degradation under injected coordination faults",
+        description="Sweep one fault dimension over a grid of rates and "
+                    "report the degradation curve (rate 0 = fault-free "
+                    "control point).",
+    )
+    common(p)
+    sweep_flags(p)
+    p.add_argument("--dimension",
+                   choices=("detection", "control", "cts", "timers", "all"),
+                   default="all")
+    p.add_argument("--rates", default="0,0.1,0.25,0.5",
+                   help="comma-separated fault rates in [0, 1]")
+    p.add_argument("--scheme",
+                   choices=("bicord", "ecc", "csma", "predictive", "slow-ctc"),
+                   default="bicord")
+    p.add_argument("--bursts", type=int, default=20)
+    p.set_defaults(func=cmd_robustness)
 
     p = sub.add_parser(
         "sweep",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Set
 
+from .faults import FaultHarness, FaultPlan, build_harness
 from .phy.medium import Medium
 from .phy.propagation import Channel, FadingModel, PathLossModel
 from .sim.engine import Simulator
@@ -27,6 +28,11 @@ class SimContext:
     trace: TraceRecorder
     channel: Channel
     medium: Medium
+    #: Seeded fault injectors for this scenario; ``None`` = fault-free.
+    #: Devices and protocol layers consult this at construction time, so the
+    #: harness must be installed before devices are built (pass the plan to
+    #: :func:`build_context` rather than assigning afterwards).
+    faults: Optional[FaultHarness] = None
 
     @property
     def now(self) -> float:
@@ -38,12 +44,15 @@ def build_context(
     path_loss: Optional[PathLossModel] = None,
     fading: Optional[FadingModel] = None,
     trace_kinds: Optional[Set[str]] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SimContext:
     """Create a fully wired :class:`SimContext`.
 
     ``trace_kinds`` restricts which record kinds are *stored* (counters are
     always kept); pass ``None`` to store everything, or an empty set to store
-    nothing.
+    nothing.  ``faults`` is an optional :class:`~repro.faults.FaultPlan`
+    whose injectors are seeded from the same stream family as everything
+    else; an inert plan leaves the context exactly fault-free.
     """
     sim = Simulator()
     streams = RandomStreams(seed=seed)
@@ -54,4 +63,7 @@ def build_context(
         streams=streams,
     )
     medium = Medium(sim, channel, trace=trace)
-    return SimContext(sim=sim, streams=streams, trace=trace, channel=channel, medium=medium)
+    return SimContext(
+        sim=sim, streams=streams, trace=trace, channel=channel, medium=medium,
+        faults=build_harness(faults, streams),
+    )

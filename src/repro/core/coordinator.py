@@ -21,7 +21,7 @@ veto requests (e.g. while high-priority video traffic is queued — Sec. VIII-G)
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..devices.wifi_device import WifiDevice
 from ..mac.frames import Frame
@@ -29,6 +29,9 @@ from ..sim.engine import Event
 from .config import BicordConfig
 from .csi_detector import ZigbeeSignalDetector
 from .whitespace import AdaptiveWhitespaceAllocator
+
+if TYPE_CHECKING:
+    from ..faults.injectors import FaultHarness
 
 
 class BicordCoordinator:
@@ -39,6 +42,7 @@ class BicordCoordinator:
         device: WifiDevice,
         config: Optional[BicordConfig] = None,
         grant_policy: Optional[Callable[[], bool]] = None,
+        faults: Optional["FaultHarness"] = None,
     ):
         if device.csi is None:
             raise ValueError(
@@ -50,7 +54,13 @@ class BicordCoordinator:
         self.trace = device.ctx.trace
         self.config = config or BicordConfig()
         self.grant_policy = grant_policy
-        self.detector = ZigbeeSignalDetector(self.config.detector)
+        harness = faults if faults is not None else device.ctx.faults
+        self._detection_faults = harness.detection if harness is not None else None
+        self._cts_faults = harness.cts if harness is not None else None
+        self._timer_faults = harness.timers if harness is not None else None
+        self.detector = ZigbeeSignalDetector(
+            self.config.detector, faults=self._detection_faults
+        )
         self.allocator = AdaptiveWhitespaceAllocator(self.config.allocator)
         device.csi.subscribe(self.detector.observe)
         self.detector.on_detection.append(self._on_detection)
@@ -59,7 +69,7 @@ class BicordCoordinator:
         self._pending_grant: Optional[float] = None
         device.mac.sent_listeners.append(self._on_frame_sent)
         self._reestimation_event = self.sim.schedule(
-            self.config.allocator.reestimation_period, self._reestimate
+            self._reestimation_period(), self._reestimate
         )
         # Statistics
         self.grants_issued = 0
@@ -91,7 +101,8 @@ class BicordCoordinator:
             duration=duration, round=self.allocator.rounds_in_current_burst,
             phase=self.allocator.phase.value,
         )
-        self.device.mac.reserve_whitespace(duration, bicord=True)
+        stamp = self._cts_faults.stamp() if self._cts_faults is not None else {}
+        self.device.mac.reserve_whitespace(duration, bicord=True, **stamp)
 
     def _on_frame_sent(self, frame: Frame) -> None:
         if not frame.meta.get("bicord"):
@@ -102,7 +113,7 @@ class BicordCoordinator:
         self.whitespace_airtime += duration
         self.detector.reset()
         # Watch for the end of the burst: end_silence after Wi-Fi resumes.
-        watch_at = self._whitespace_until + self.config.allocator.end_silence
+        watch_at = self._whitespace_until + self._end_silence()
         if self._burst_watch is not None and self._burst_watch.pending:
             self._burst_watch.cancel()
         self._burst_watch = self.sim.schedule_at(watch_at, self._check_burst_end)
@@ -126,11 +137,23 @@ class BicordCoordinator:
     # ------------------------------------------------------------------
     # Re-estimation timer
     # ------------------------------------------------------------------
+    def _reestimation_period(self) -> float:
+        base = self.config.allocator.reestimation_period
+        if self._timer_faults is not None:
+            return self._timer_faults.reestimation_period(base)
+        return base
+
+    def _end_silence(self) -> float:
+        base = self.config.allocator.end_silence
+        if self._timer_faults is not None:
+            return self._timer_faults.end_silence(base)
+        return base
+
     def _reestimate(self) -> None:
         self.allocator.on_reestimation_timer(self.sim.now)
         self.trace.record(self.sim.now, "bicord.reestimate", coordinator=self.device.name)
         self._reestimation_event = self.sim.schedule(
-            self.config.allocator.reestimation_period, self._reestimate
+            self._reestimation_period(), self._reestimate
         )
 
     def stop(self) -> None:

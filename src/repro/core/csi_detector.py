@@ -16,16 +16,23 @@ no access to ground truth.  Precision/recall accounting against the samples'
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional
 
 from ..phy.csi import CsiSample
 from .config import DetectorConfig
+
+if TYPE_CHECKING:
+    from ..faults.injectors import DetectionFaultInjector
 
 
 class ZigbeeSignalDetector:
     """Sliding-window continuity detector over CSI deviations."""
 
-    def __init__(self, config: Optional[DetectorConfig] = None):
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        faults: Optional["DetectionFaultInjector"] = None,
+    ):
         self.config = config or DetectorConfig()
         if self.config.required_samples < 1:
             raise ValueError("required_samples must be >= 1")
@@ -34,6 +41,8 @@ class ZigbeeSignalDetector:
         self._high_times: Deque[float] = deque()
         self._last_detection: Optional[float] = None
         self.on_detection: List[Callable[[float], None]] = []
+        #: Fault injector flipping detection outcomes (FP/FN, Fig. 5 rates).
+        self.faults = faults
         # Statistics
         self.samples_seen = 0
         self.high_samples = 0
@@ -44,15 +53,22 @@ class ZigbeeSignalDetector:
         """Feed one CSI sample; returns True if a detection fired."""
         self.samples_seen += 1
         config = self.config
-        if sample.deviation < config.fluctuation_threshold:
-            return False
-        self.high_samples += 1
         now = sample.time
-        self._high_times.append(now)
-        horizon = now - config.window
-        while self._high_times and self._high_times[0] < horizon:
-            self._high_times.popleft()
-        if len(self._high_times) < config.required_samples:
+        natural = False
+        if sample.deviation >= config.fluctuation_threshold:
+            self.high_samples += 1
+            self._high_times.append(now)
+            horizon = now - config.window
+            while self._high_times and self._high_times[0] < horizon:
+                self._high_times.popleft()
+            natural = len(self._high_times) >= config.required_samples
+        fire = natural
+        if self.faults is not None:
+            # A suppressed detection leaves the window state untouched (the
+            # fluctuations happened; only the verdict was lost), so the very
+            # next high sample can fire — a transient miss, not a blackout.
+            fire = self.faults.flip(natural)
+        if not fire:
             return False
         if (
             self._last_detection is not None

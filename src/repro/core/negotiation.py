@@ -23,12 +23,15 @@ This turns the location-specific powers of the paper's footnote 3 (0, 0,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
 from ..devices.zigbee_device import ZigbeeDevice
 from .powermap import PowerMap, negotiate_power
+
+if TYPE_CHECKING:
+    from ..faults.injectors import NegotiationFaultInjector
 
 
 @dataclass
@@ -52,6 +55,7 @@ class PowerNegotiator:
         margin_db: float = 2.0,
         listen_duration: float = 20e-3,
         listen_rate_hz: float = 10e3,
+        faults: Optional["NegotiationFaultInjector"] = None,
     ):
         self.device = device
         self.wifi_tx_power_dbm = wifi_tx_power_dbm
@@ -59,6 +63,10 @@ class PowerNegotiator:
         self.margin_db = margin_db
         self.listen_duration = listen_duration
         self.listen_rate_hz = listen_rate_hz
+        harness = device.ctx.faults
+        self.faults = faults if faults is not None else (
+            harness.negotiation if harness is not None else None
+        )
 
     def negotiate(
         self,
@@ -84,6 +92,9 @@ class PowerNegotiator:
             if len(busy) == 0:
                 busy = samples  # nothing heard; negotiation falls to full power
             rx_wifi = float(np.percentile(busy, 60.0))
+            if self.faults is not None:
+                # Miscalibrated RSSI front-end: bias + per-measurement noise.
+                rx_wifi = self.faults.perturb_rssi(rx_wifi)
             # In-band RSSI catches ~1/10 of the 20 MHz Wi-Fi power (2/20 MHz
             # overlap); undo that to estimate the full-band path.
             rx_wifi_fullband = rx_wifi + 10.0

@@ -22,7 +22,10 @@ the retransmission mechanism under CTI.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from ..faults.injectors import ControlFaultInjector
 
 from ..devices.base import RxInfo
 from ..devices.zigbee_device import ZigbeeDevice
@@ -45,12 +48,17 @@ class BicordNode:
         powermap: Optional[PowerMap] = None,
         wifi_check: Optional[Callable[[], bool]] = None,
         interferer_id: Optional[Callable[[], Optional[str]]] = None,
+        faults: Optional["ControlFaultInjector"] = None,
     ):
         self.device = device
         self.receiver = receiver
         self.sim = device.ctx.sim
         self.trace = device.ctx.trace
         self.config = config or BicordConfig()
+        harness = device.ctx.faults
+        self.faults = faults if faults is not None else (
+            harness.control if harness is not None else None
+        )
         self.powermap = powermap or PowerMap(
             default_power_dbm=self.config.signaling.default_power_dbm
         )
@@ -237,6 +245,11 @@ class BicordNode:
             self.device.mac.send_immediate(control, power_dbm=power)
             return
         control.meta["on_complete"] = self._control_packet_done
+        if self.faults is not None:
+            # Faults hit only the forced (deliberately-colliding) path; the
+            # piggyback path above goes through normal CSMA and keeps its ACK
+            # semantics intact.
+            power = self.faults.perturb(control, power)
         self.device.mac.send_forced(control, power_dbm=power)
 
     def _control_packet_done(self, _frame: Frame) -> None:

@@ -151,6 +151,10 @@ class AdaptiveWhitespaceAllocator:
         self.current_whitespace = self.config.initial_whitespace
         self.phase = AllocatorPhase.LEARNING
         self._rounds_in_burst = 0
+        # A stale anomaly count from before the reset must not carry into the
+        # next converged period, or a single multi-round burst there would
+        # defeat the growth debounce.
+        self._anomalous_bursts = 0
 
     # ------------------------------------------------------------------
     def _clamped(self, value: float) -> float:

@@ -58,4 +58,7 @@ class WifiDevice(Device):
         )
         self.csi: Optional[CsiObserver] = None
         if with_csi:
-            self.csi = CsiObserver(self.mac, ctx.sim, ctx.streams, model=csi_model)
+            self.csi = CsiObserver(
+                self.mac, ctx.sim, ctx.streams, model=csi_model,
+                faults=ctx.faults.csi if ctx.faults is not None else None,
+            )

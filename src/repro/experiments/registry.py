@@ -56,6 +56,7 @@ from .runner import (
     run_signaling_trial,
 )
 from .metrics import CoexistenceResult
+from .robustness import RobustnessResult, RobustnessTrialConfig, run_robustness_trial
 from .topology import Calibration
 
 
@@ -225,6 +226,14 @@ register(ExperimentSpec(
     result_cls=DeviceIdResult,
     description="Wi-Fi transmitter identification (Sec. VII-A)",
     aliases=("device-identification", "deviceid"),
+))
+register(ExperimentSpec(
+    name="robustness",
+    runner=run_robustness_trial,
+    config_cls=RobustnessTrialConfig,
+    result_cls=RobustnessResult,
+    description="PRR/latency degradation under injected coordination faults",
+    aliases=("faults", "fault-injection"),
 ))
 register(ExperimentSpec(
     name="ble",

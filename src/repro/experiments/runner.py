@@ -35,6 +35,7 @@ from ..core import (
     DetectorConfig,
     ZigbeeSignalDetector,
 )
+from ..faults import FaultPlan
 from ..mac.frames import zigbee_control_frame
 from ..sim.process import Process
 from ..traffic.generators import PriorityWifiSource, WifiPacketSource, ZigbeeBurstSource
@@ -182,6 +183,9 @@ class CoexistenceConfig:
     calibration: Calibration = field(default_factory=Calibration)
     bicord_config: BicordConfig = field(default_factory=BicordConfig)
     grace: float = 2.0
+    #: Optional fault-injection plan; ``None`` (or an inert plan) runs
+    #: fault-free and is bitwise-identical to the pre-faults behavior.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -239,7 +243,8 @@ def run_coexistence(
     if overrides:
         config = dataclasses.replace(config, **overrides)
     office = build_office(
-        seed=config.seed, location=config.location, calibration=config.calibration
+        seed=config.seed, location=config.location, calibration=config.calibration,
+        faults=config.faults,
     )
     ctx = office.ctx
     cal = office.calibration
@@ -325,6 +330,8 @@ def run_coexistence(
             coordinator.stop()
     if hasattr(node, "stop"):
         node.stop()
+    if ctx.faults is not None:
+        result.extra.update(ctx.faults.counters())
     return result
 
 

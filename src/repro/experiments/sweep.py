@@ -60,7 +60,8 @@ from .registry import get_experiment, resolve_config, run_experiment
 from .topology import Calibration
 
 #: Bump when the cache entry layout changes (invalidates old entries).
-CACHE_SCHEMA = 1
+#: 2: configs grew a ``faults`` block (resolved-config hashes changed).
+CACHE_SCHEMA = 2
 
 
 def default_cache_dir() -> Path:
@@ -277,18 +278,42 @@ class SweepEngine:
             return
         path = self._entry_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, path)  # atomic: concurrent writers both win
+        # Write-then-rename so readers never observe a half-written entry
+        # (a torn write would otherwise poison the address until cleared);
+        # the pid suffix keeps concurrent writers off each other's temp
+        # file, and os.replace is atomic so whoever renames last wins with
+        # a complete entry either way.
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry, sort_keys=True))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            warnings.warn(f"sweep cache write failed: {exc}", RuntimeWarning)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def clear_cache(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry; returns the number removed.
+
+        Also sweeps up orphaned ``*.tmp*`` files left by writers that died
+        between write and rename (not counted in the return value).
+        """
         removed = 0
         if self.cache_dir.is_dir():
             for entry in self.cache_dir.glob("*/*.json"):
                 try:
                     entry.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for orphan in self.cache_dir.glob("*/*.json.tmp*"):
+                try:
+                    orphan.unlink()
                 except OSError:
                     pass
         return removed

@@ -84,7 +84,7 @@ class Calibration:
             zigbee_width_db=self.csi_zigbee_width_db,
         )
 
-    def context(self, seed: int, trace_kinds=frozenset()) -> SimContext:
+    def context(self, seed: int, trace_kinds=frozenset(), faults=None) -> SimContext:
         return build_context(
             seed=seed,
             path_loss=PathLossModel(pl0_db=self.pl0_db, exponent=self.path_loss_exponent),
@@ -93,6 +93,7 @@ class Calibration:
                 fading_sigma_db=self.fading_sigma_db,
             ),
             trace_kinds=set(trace_kinds) if trace_kinds is not None else None,
+            faults=faults,
         )
 
 
@@ -119,12 +120,18 @@ def build_office(
     calibration: Optional[Calibration] = None,
     trace_kinds=frozenset(),
     zigbee_receiver_pos: Optional[Position] = None,
+    faults=None,
 ) -> Office:
-    """Assemble the Fig. 6 office: E, F, and a ZigBee pair at ``location``."""
+    """Assemble the Fig. 6 office: E, F, and a ZigBee pair at ``location``.
+
+    ``faults`` is an optional :class:`~repro.faults.FaultPlan`; its seeded
+    injectors land in ``office.ctx.faults`` where the CSI observer,
+    coordinator, and node pick them up automatically.
+    """
     if location not in LOCATIONS:
         raise ValueError(f"unknown location {location!r}; expected one of {sorted(LOCATIONS)}")
     cal = calibration or Calibration()
-    ctx = cal.context(seed, trace_kinds=trace_kinds)
+    ctx = cal.context(seed, trace_kinds=trace_kinds, faults=faults)
     sender = WifiDevice(
         ctx, "E", WIFI_SENDER_POS, channel=cal.wifi_channel,
         tx_power_dbm=cal.wifi_tx_power_dbm, data_rate_mbps=cal.wifi_rate_mbps,

@@ -1,0 +1,32 @@
+"""Fault injection: evaluate BiCord under imperfect coordination.
+
+``FaultPlan`` declares the rates (pure data, serializable, cache-hashable);
+``build_harness`` binds a plan to a trial's seeded random streams and
+returns per-concern injectors that the PHY/core/MAC layers consult.  See
+``docs/API.md`` ("Fault injection & robustness") for the wiring map.
+"""
+
+from .injectors import (
+    CsiFaultInjector,
+    ControlFaultInjector,
+    CtsFaultInjector,
+    DetectionFaultInjector,
+    FaultHarness,
+    NegotiationFaultInjector,
+    TimerFaultInjector,
+    build_harness,
+)
+from .plan import DIMENSIONS, FaultPlan
+
+__all__ = [
+    "DIMENSIONS",
+    "FaultPlan",
+    "FaultHarness",
+    "build_harness",
+    "CsiFaultInjector",
+    "ControlFaultInjector",
+    "CtsFaultInjector",
+    "DetectionFaultInjector",
+    "NegotiationFaultInjector",
+    "TimerFaultInjector",
+]

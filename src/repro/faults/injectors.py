@@ -1,0 +1,269 @@
+"""Seeded fault injectors: a :class:`FaultPlan` bound to random streams.
+
+Each injector owns one concern of the coordination loop and one named
+random stream (``faults/<concern>``) derived from the trial's
+:class:`~repro.sim.rng.RandomStreams`.  Streams are independent of every
+other consumer in the simulator, so
+
+* the same (plan, seed) always produces the identical fault sequence, and
+* switching a fault channel on never perturbs the draws of unrelated
+  components — a faulted run differs from the clean run only where the
+  faults actually bite.
+
+:func:`build_harness` is the only constructor call sites need: it returns
+``None`` for an inert plan (the clean code path stays byte-identical) and a
+:class:`FaultHarness` with per-concern injectors otherwise.  Every injector
+counts what it injected; :meth:`FaultHarness.counters` flattens the counts
+for experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from .plan import FaultPlan
+
+if TYPE_CHECKING:  # avoid import cycles; frames are only type-annotated here
+    from ..mac.frames import Frame
+    from ..sim.rng import RandomStreams
+
+#: Floor applied to faulted timer durations so a skewed timer can never be
+#: scheduled in the past or spin the event loop.
+MIN_TIMER_S = 1e-4
+
+#: Attenuation applied to a dropped control packet, dB.  The sender still
+#: transmits (airtime + energy are spent) but the packet arrives tens of dB
+#: below any detection threshold — a lossy control channel, not a muted one.
+DROP_ATTENUATION_DB = 80.0
+
+
+class _Injector:
+    """Shared plumbing: plan + private RNG + chance draws."""
+
+    def __init__(self, plan: FaultPlan, rng: np.random.Generator):
+        self.plan = plan
+        self._rng = rng
+
+    def _chance(self, probability: float) -> bool:
+        if probability <= 0.0:
+            return False
+        return float(self._rng.random()) < probability
+
+
+class CsiFaultInjector(_Injector):
+    """Perturbs the CSI observable below the detector (phy/csi.py).
+
+    Misses erase the ZigBee-induced deviation from an overlapped sample;
+    spurious faults raise a clean sample into the high-fluctuation band.
+    The sample's ``zigbee_overlap`` ground truth is *not* touched — only
+    the observable — so precision/recall accounting stays honest.
+    """
+
+    def __init__(self, plan: FaultPlan, rng: np.random.Generator):
+        super().__init__(plan, rng)
+        self.samples_missed = 0
+        self.samples_spurious = 0
+
+    def miss_overlap(self) -> bool:
+        """True when this overlapped sample should read as clean baseline."""
+        if self._chance(self.plan.csi_miss_rate):
+            self.samples_missed += 1
+            return True
+        return False
+
+    def spurious_deviation(self) -> Optional[float]:
+        """A fake high-fluctuation value for a clean sample, or None."""
+        if not self._chance(self.plan.csi_spurious_rate):
+            return None
+        self.samples_spurious += 1
+        return float(self._rng.uniform(0.3, 0.9))
+
+
+class DetectionFaultInjector(_Injector):
+    """Flips CSI detection outcomes (core/csi_detector.py)."""
+
+    def __init__(self, plan: FaultPlan, rng: np.random.Generator):
+        super().__init__(plan, rng)
+        self.detections_suppressed = 0
+        self.detections_injected = 0
+
+    def flip(self, natural: bool) -> bool:
+        """Map the detector's natural verdict to the faulted one."""
+        if natural:
+            if self._chance(self.plan.detection_fn_rate):
+                self.detections_suppressed += 1
+                return False
+            return True
+        if self._chance(self.plan.detection_fp_rate):
+            self.detections_injected += 1
+            return True
+        return False
+
+
+class ControlFaultInjector(_Injector):
+    """Drops / truncates ZigBee control packets in flight (core/node.py)."""
+
+    def __init__(self, plan: FaultPlan, rng: np.random.Generator):
+        super().__init__(plan, rng)
+        self.controls_dropped = 0
+        self.controls_truncated = 0
+
+    def perturb(self, frame: "Frame", power_dbm: float) -> float:
+        """Decide this control packet's fate; returns the effective power.
+
+        A dropped packet is transmitted ``DROP_ATTENUATION_DB`` below the
+        negotiated power (invisible at the receiver, airtime still spent);
+        a truncated packet keeps a uniform fraction of its payload bytes.
+        One draw decides drop-vs-survive, so the fault sequence depends only
+        on how many control packets were sent, not on their contents.
+        """
+        if self._chance(self.plan.control_drop_rate):
+            self.controls_dropped += 1
+            frame.meta["fault_control_dropped"] = True
+            return power_dbm - DROP_ATTENUATION_DB
+        if self._chance(self.plan.control_truncate_rate):
+            fraction = float(self._rng.uniform(
+                self.plan.control_truncate_min_fraction, 1.0
+            ))
+            truncated = max(1, int(frame.payload_bytes * fraction))
+            if truncated < frame.payload_bytes:
+                self.controls_truncated += 1
+                frame.meta["fault_control_truncated"] = frame.payload_bytes
+                overhead = frame.mpdu_bytes - frame.payload_bytes
+                frame.payload_bytes = truncated
+                frame.mpdu_bytes = truncated + overhead
+        return power_dbm
+
+
+class CtsFaultInjector(_Injector):
+    """Marks CTS-to-self broadcasts as unheard or late (mac/wifi.py).
+
+    The decision is made once per CTS at the *sender* (a single draw per
+    grant) and stamped into the frame's metadata; contending MACs honor the
+    stamp when they would otherwise set their NAV.  The granting device's
+    own self-suppression is untouched — exactly the hidden-contender
+    scenario: the white space exists, but nobody else respects it.
+    """
+
+    def __init__(self, plan: FaultPlan, rng: np.random.Generator):
+        super().__init__(plan, rng)
+        self.cts_suppressed = 0
+        self.cts_delayed = 0
+
+    def stamp(self) -> Dict[str, float]:
+        """Metadata to attach to the next CTS-to-self frame."""
+        if self._chance(self.plan.cts_suppress_rate):
+            self.cts_suppressed += 1
+            return {"fault_cts_drop": True}
+        if self._chance(self.plan.cts_delay_rate) and self.plan.cts_delay_max > 0.0:
+            self.cts_delayed += 1
+            delay = float(self._rng.uniform(0.0, self.plan.cts_delay_max))
+            return {"fault_cts_delay": delay}
+        return {}
+
+
+class TimerFaultInjector(_Injector):
+    """Skews the Wi-Fi-side timers (core/coordinator.py) — clock drift."""
+
+    def __init__(self, plan: FaultPlan, rng: np.random.Generator):
+        super().__init__(plan, rng)
+        self.timers_skewed = 0
+
+    def _skewed(self, base: float, skew: float) -> float:
+        value = base * (1.0 + skew)
+        if self.plan.timer_jitter > 0.0:
+            value += float(self._rng.uniform(
+                -self.plan.timer_jitter, self.plan.timer_jitter
+            ))
+        if value != base:
+            self.timers_skewed += 1
+        return max(value, MIN_TIMER_S)
+
+    def reestimation_period(self, base: float) -> float:
+        return self._skewed(base, self.plan.reestimation_skew)
+
+    def end_silence(self, base: float) -> float:
+        return self._skewed(base, self.plan.end_silence_skew)
+
+
+class NegotiationFaultInjector(_Injector):
+    """Biases the PowerMap negotiation's RSSI estimate (core/negotiation.py)."""
+
+    def __init__(self, plan: FaultPlan, rng: np.random.Generator):
+        super().__init__(plan, rng)
+        self.negotiations_perturbed = 0
+
+    def perturb_rssi(self, rssi_dbm: float) -> float:
+        value = rssi_dbm + self.plan.negotiation_bias_db
+        if self.plan.negotiation_noise_db > 0.0:
+            value += float(self._rng.normal(0.0, self.plan.negotiation_noise_db))
+        if value != rssi_dbm:
+            self.negotiations_perturbed += 1
+        return value
+
+
+@dataclass
+class FaultHarness:
+    """All injectors of one trial, each ``None`` when its channel is off."""
+
+    plan: FaultPlan
+    csi: Optional[CsiFaultInjector] = None
+    detection: Optional[DetectionFaultInjector] = None
+    control: Optional[ControlFaultInjector] = None
+    cts: Optional[CtsFaultInjector] = None
+    timers: Optional[TimerFaultInjector] = None
+    negotiation: Optional[NegotiationFaultInjector] = None
+
+    def counters(self) -> Dict[str, int]:
+        """Flat injection counts (reported via ``CoexistenceResult.extra``)."""
+        counts: Dict[str, int] = {}
+        for injector, names in (
+            (self.csi, ("samples_missed", "samples_spurious")),
+            (self.detection, ("detections_suppressed", "detections_injected")),
+            (self.control, ("controls_dropped", "controls_truncated")),
+            (self.cts, ("cts_suppressed", "cts_delayed")),
+            (self.timers, ("timers_skewed",)),
+            (self.negotiation, ("negotiations_perturbed",)),
+        ):
+            if injector is None:
+                continue
+            for name in names:
+                counts[f"fault_{name}"] = getattr(injector, name)
+        return counts
+
+
+def build_harness(
+    plan: Optional[FaultPlan], streams: "RandomStreams"
+) -> Optional[FaultHarness]:
+    """Bind a plan to a trial's random streams.
+
+    Returns ``None`` for a missing or inert plan so the fault-free code
+    path stays exactly the seed-state code path (no extra stream creation,
+    no draws, bitwise-identical results).
+    """
+    if plan is None or not plan.active:
+        return None
+    plan.validate()
+    harness = FaultHarness(plan=plan)
+    if plan.csi_miss_rate > 0.0 or plan.csi_spurious_rate > 0.0:
+        harness.csi = CsiFaultInjector(plan, streams.stream("faults/csi"))
+    if plan.detection_fn_rate > 0.0 or plan.detection_fp_rate > 0.0:
+        harness.detection = DetectionFaultInjector(plan, streams.stream("faults/detection"))
+    if plan.control_drop_rate > 0.0 or plan.control_truncate_rate > 0.0:
+        harness.control = ControlFaultInjector(plan, streams.stream("faults/control"))
+    if plan.cts_suppress_rate > 0.0 or plan.cts_delay_rate > 0.0:
+        harness.cts = CtsFaultInjector(plan, streams.stream("faults/cts"))
+    if (
+        plan.reestimation_skew != 0.0
+        or plan.end_silence_skew != 0.0
+        or plan.timer_jitter > 0.0
+    ):
+        harness.timers = TimerFaultInjector(plan, streams.stream("faults/timers"))
+    if plan.negotiation_bias_db != 0.0 or plan.negotiation_noise_db > 0.0:
+        harness.negotiation = NegotiationFaultInjector(
+            plan, streams.stream("faults/negotiation")
+        )
+    return harness

@@ -1,0 +1,194 @@
+"""Declarative fault plans: *what* can go wrong, at which rate.
+
+BiCord's coordination loop is a chain of best-effort mechanisms — CSI
+detection of the ZigBee request, the cross-technology control channel, the
+CTS-to-self broadcast that clears the white space, and two Wi-Fi-side
+timers.  The paper itself reports non-zero false-positive/false-negative
+detection rates (Fig. 5), and CTI surveys stress that coexistence schemes
+must be evaluated under imperfect detection and lossy control channels.
+
+A :class:`FaultPlan` is pure data: a set of rates and skews describing how
+each link of the chain misbehaves.  It carries no randomness of its own —
+:func:`repro.faults.injectors.build_harness` turns a plan into seeded
+injector objects driven by the trial's
+:class:`~repro.sim.rng.RandomStreams`, so fault sequences are
+bit-reproducible per seed and safe to cache by the sweep engine.  An
+all-zero plan builds *no* injectors and therefore reproduces the fault-free
+simulation exactly (not just statistically).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Robustness-sweep dimensions understood by :meth:`FaultPlan.from_dimension`.
+DIMENSIONS: Tuple[str, ...] = ("detection", "control", "cts", "timers", "all")
+
+#: Per-CSI-sample ghost-detection rate per unit sweep rate.  CSI samples
+#: arrive at kHz rates, so the false-positive axis is scaled two orders of
+#: magnitude below the per-detection flip rate to keep ``rate`` comparable
+#: across dimensions (rate=1.0 -> ~1% of samples spawn a ghost detection).
+FP_PER_SAMPLE_SCALE = 0.01
+
+
+@dataclass
+class FaultPlan:
+    """Composable fault rates for every stage of the coordination loop.
+
+    All ``*_rate`` fields are probabilities in ``[0, 1]``; skews are
+    relative (``-0.5`` = the timer runs 50% fast); the plan with every
+    field at its default is inert.
+    """
+
+    # --- CSI observable (phy/csi.py) -------------------------------------
+    #: P(a ZigBee-overlapped CSI sample reads as clean baseline) — the CSI
+    #: extractor missed the disturbance.
+    csi_miss_rate: float = 0.0
+    #: P(a clean CSI sample reads as a high fluctuation) — spurious
+    #: environment noise injected below the detector.
+    csi_spurious_rate: float = 0.0
+
+    # --- Detection outcome (core/csi_detector.py) ------------------------
+    #: P(a detection that would fire is silently suppressed) — false negative.
+    detection_fn_rate: float = 0.0
+    #: P(per CSI sample, a detection fires with no ZigBee present) — false
+    #: positive.  Applied per sample, so keep it small (samples arrive ~kHz).
+    detection_fp_rate: float = 0.0
+
+    # --- ZigBee -> Wi-Fi control channel (core/node.py) ------------------
+    #: P(a control packet never reaches the Wi-Fi receiver).  The sender
+    #: still burns the airtime and energy; the CSI stream sees nothing.
+    control_drop_rate: float = 0.0
+    #: P(a control packet is truncated mid-air) — it overlaps fewer Wi-Fi
+    #: frames, weakening the continuity evidence.
+    control_truncate_rate: float = 0.0
+    #: Remaining fraction of a truncated control packet is drawn uniformly
+    #: from ``[control_truncate_min_fraction, 1)``.
+    control_truncate_min_fraction: float = 0.25
+
+    # --- CTS-to-self broadcast (mac/wifi.py) ------------------------------
+    #: P(contending Wi-Fi stations never hear the CTS) — a hidden contender
+    #: transmits straight into the granted white space.
+    cts_suppress_rate: float = 0.0
+    #: P(contenders decode the CTS late) — they keep transmitting into the
+    #: head of the white space.
+    cts_delay_rate: float = 0.0
+    #: Maximum CTS decode delay, seconds (uniform in ``(0, cts_delay_max]``).
+    cts_delay_max: float = 2e-3
+
+    # --- Wi-Fi-side timers (core/coordinator.py) --------------------------
+    #: Relative clock drift on the 10 s re-estimation timer (-0.5 = fires
+    #: twice as often, +0.5 = 50% late).
+    reestimation_skew: float = 0.0
+    #: Relative drift on the end-of-burst silence window (negative values
+    #: declare bursts over prematurely, splitting one burst into several).
+    end_silence_skew: float = 0.0
+    #: Additional +/- uniform jitter, seconds, drawn each time a Wi-Fi-side
+    #: timer is armed.
+    timer_jitter: float = 0.0
+
+    # --- PowerMap negotiation (core/negotiation.py) -----------------------
+    #: Systematic error added to the measured Wi-Fi RSSI, dB (a miscalibrated
+    #: front end biases every negotiated power).
+    negotiation_bias_db: float = 0.0
+    #: Per-negotiation Gaussian measurement noise, dB std-dev.
+    negotiation_noise_db: float = 0.0
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on rates/fractions outside their domains."""
+        for name in (
+            "csi_miss_rate", "csi_spurious_rate",
+            "detection_fn_rate", "detection_fp_rate",
+            "control_drop_rate", "control_truncate_rate",
+            "cts_suppress_rate", "cts_delay_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 < self.control_truncate_min_fraction <= 1.0:
+            raise ValueError(
+                "control_truncate_min_fraction must be in (0, 1], got "
+                f"{self.control_truncate_min_fraction}"
+            )
+        if self.cts_delay_max < 0.0:
+            raise ValueError(f"cts_delay_max must be >= 0, got {self.cts_delay_max}")
+        if self.timer_jitter < 0.0:
+            raise ValueError(f"timer_jitter must be >= 0, got {self.timer_jitter}")
+        for name in ("reestimation_skew", "end_silence_skew"):
+            if getattr(self, name) <= -1.0:
+                raise ValueError(f"{name} must be > -1 (timers cannot run backwards)")
+        if self.negotiation_noise_db < 0.0:
+            raise ValueError(
+                f"negotiation_noise_db must be >= 0, got {self.negotiation_noise_db}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when any fault channel is switched on."""
+        inert = FaultPlan()
+        return any(
+            getattr(self, field.name) != getattr(inert, field.name)
+            for field in dataclasses.fields(self)
+            if field.name not in ("control_truncate_min_fraction", "cts_delay_max")
+        )
+
+    def rates(self) -> Dict[str, float]:
+        """Flat name -> value view (reporting, manifests)."""
+        return {
+            field.name: float(getattr(self, field.name))
+            for field in dataclasses.fields(self)
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dimension(cls, dimension: str, rate: float) -> "FaultPlan":
+        """Build the plan one robustness-sweep dimension maps to.
+
+        ``rate`` in ``[0, 1]`` scales the dimension's fault channels:
+
+        * ``detection`` — false negatives at ``rate``, per-sample false
+          positives at ``rate * FP_PER_SAMPLE_SCALE``;
+        * ``control``   — drops at ``rate``, truncation at ``rate / 2``;
+        * ``cts``       — broadcast suppression at ``rate``, decode delay at
+          ``rate / 2``;
+        * ``timers``    — the re-estimation timer runs up to ``90%`` fast and
+          the end-of-burst window up to ``75%`` short, plus 5 ms jitter, all
+          scaled by ``rate``;
+        * ``all``       — every channel above at once.
+        """
+        if dimension not in DIMENSIONS:
+            raise ValueError(
+                f"unknown fault dimension {dimension!r}; expected one of {DIMENSIONS}"
+            )
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        fields: Dict[str, float] = {}
+        if dimension in ("detection", "all"):
+            fields.update(
+                detection_fn_rate=rate,
+                detection_fp_rate=rate * FP_PER_SAMPLE_SCALE,
+            )
+        if dimension in ("control", "all"):
+            fields.update(
+                control_drop_rate=rate,
+                control_truncate_rate=rate / 2.0,
+            )
+        if dimension in ("cts", "all"):
+            fields.update(
+                cts_suppress_rate=rate,
+                cts_delay_rate=rate / 2.0,
+            )
+        if dimension in ("timers", "all"):
+            fields.update(
+                reestimation_skew=-0.9 * rate,
+                end_silence_skew=-0.75 * rate,
+                timer_jitter=5e-3 * rate,
+            )
+        return cls(**fields)

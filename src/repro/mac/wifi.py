@@ -334,15 +334,39 @@ class WifiMac:
         if cts.source == self.radio.name:
             return
         new_nav = self.sim.now + nav
-        if new_nav > self.nav_until:
-            self.nav_until = new_nav
-            self._schedule_wakeup(new_nav)
+        # Fault stamps (set once at the sender, honored by every *other*
+        # station): a dropped CTS never sets this NAV; a delayed one sets it
+        # late but still ending at the original time — either way this
+        # station may transmit into the granted white space, modeling the
+        # hidden-contender failures of imperfect CTS-to-self coverage.
+        if cts.meta.get("fault_cts_drop"):
+            self.trace.record(
+                self.sim.now, "wifi.nav_dropped", mac=self.radio.name,
+                source=cts.source,
+            )
+            self._evaluate()
+            return
+        delay = cts.meta.get("fault_cts_delay", 0.0)
+        if delay > 0.0:
+            self.trace.record(
+                self.sim.now, "wifi.nav_delayed", mac=self.radio.name,
+                source=cts.source, delay=delay,
+            )
+            self.sim.schedule(delay, self._apply_nav, cts, new_nav)
+            self._evaluate()
+            return
+        self._apply_nav(cts, new_nav)
+
+    def _apply_nav(self, cts: Frame, until: float) -> None:
+        if until > self.nav_until and until > self.sim.now:
+            self.nav_until = until
+            self._schedule_wakeup(until)
             self.trace.record(
                 self.sim.now, "wifi.nav_set", mac=self.radio.name,
-                source=cts.source, until=new_nav,
+                source=cts.source, until=until,
             )
             if self.on_nav_set is not None:
-                self.on_nav_set(cts, new_nav)
+                self.on_nav_set(cts, until)
         self._evaluate()
 
     def _forced_tx(self, frame: Frame) -> None:

@@ -34,6 +34,7 @@ from .medium import Technology
 
 if TYPE_CHECKING:  # imported lazily to avoid package-init cycles
     from ..devices.base import RxInfo
+    from ..faults.injectors import CsiFaultInjector
     from ..mac.frames import Frame
     from ..mac.wifi import WifiMac
 
@@ -93,6 +94,7 @@ class CsiObserver:
         sim: Simulator,
         streams: RandomStreams,
         model: Optional[CsiModel] = None,
+        faults: Optional["CsiFaultInjector"] = None,
     ):
         self.mac = mac
         self.sim = sim
@@ -101,6 +103,8 @@ class CsiObserver:
         self.listeners: List[Callable[[CsiSample], None]] = []
         #: Extra deviation source (e.g. person mobility): callable(time) -> float.
         self.environment_deviation: Optional[Callable[[float], float]] = None
+        #: Fault injector perturbing the observable (never the ground truth).
+        self.faults = faults
         self.samples_emitted = 0
         mac.frame_listeners.append(self._on_frame)
 
@@ -125,17 +129,28 @@ class CsiObserver:
                 if best_power is None or rx_dbm > best_power:
                     best_power = rx_dbm
                     zigbee_source = source_name
+        # Fault injection perturbs what the extractor *reports*, never the
+        # zigbee_overlap ground truth (precision/recall accounting stays
+        # honest).  The ZigBee contribution draws stay on the csi/* stream
+        # even for missed samples so a faulted run's clean samples line up
+        # with the fault-free run's.
+        visible = zigbee_overlap
+        if zigbee_overlap and self.faults is not None and self.faults.miss_overlap():
+            visible = False
         if zigbee_overlap and best_power is not None:
             p_high = model.zigbee_high_probability(best_power)
             if self._rng.random() < p_high:
-                deviation = max(
-                    deviation,
-                    float(self._rng.uniform(model.zigbee_high_low, model.zigbee_high_high)),
+                induced = float(
+                    self._rng.uniform(model.zigbee_high_low, model.zigbee_high_high)
                 )
             else:
-                deviation = max(
-                    deviation, abs(float(self._rng.normal(0.0, model.zigbee_low_scale)))
-                )
+                induced = abs(float(self._rng.normal(0.0, model.zigbee_low_scale)))
+            if visible:
+                deviation = max(deviation, induced)
+        if not zigbee_overlap and self.faults is not None:
+            spurious = self.faults.spurious_deviation()
+            if spurious is not None:
+                deviation = max(deviation, spurious)
         if self.environment_deviation is not None:
             deviation = max(deviation, self.environment_deviation(self.sim.now))
         sample = CsiSample(

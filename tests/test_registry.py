@@ -25,11 +25,11 @@ from repro.serialization import canonical_dumps
 
 ALL_EXPERIMENTS = (
     "signaling", "coexistence", "learning", "priority",
-    "energy", "cti", "device-id", "ble",
+    "energy", "cti", "device-id", "ble", "robustness",
 )
 
 
-def test_all_eight_experiments_registered():
+def test_all_experiments_registered():
     assert experiment_names() == tuple(sorted(ALL_EXPERIMENTS))
     for name in ALL_EXPERIMENTS:
         spec = get_experiment(name)

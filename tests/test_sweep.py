@@ -129,11 +129,42 @@ def test_schema_bump_invalidates_entry(tmp_path):
     assert rerun.executed == 1
 
 
+def test_corrupt_entry_in_full_sweep_reexecutes_only_that_trial(tmp_path):
+    """A torn cache write must not crash a sweep nor poison its siblings:
+    the corrupt entry is re-executed, the rest are served from cache, and
+    the re-executed result is bitwise-identical to the original."""
+    engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+    first = engine.run(LEARN_SPEC)
+    assert first.executed == 4
+    victim = engine._entry_path(first.records[1].key)
+    victim.write_text('{"schema": ', encoding="utf-8")  # truncated mid-write
+    rerun = engine.run(LEARN_SPEC)
+    assert (rerun.executed, rerun.cached_hits) == (1, 3)
+    for a, b in zip(first.results, rerun.results):
+        assert canonical_dumps(a) == canonical_dumps(b)
+
+
+def test_cache_store_leaves_no_temp_files(tmp_path):
+    engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+    engine.run(SweepSpec("learning", base={"n_bursts": 3, "n_packets": 3}))
+    assert not list(tmp_path.rglob("*.tmp*"))
+
+
 def test_clear_cache_removes_entries(tmp_path):
     engine = SweepEngine(jobs=1, cache_dir=tmp_path)
     engine.run(SweepSpec("learning", base={"n_bursts": 3, "n_packets": 3}))
     assert engine.clear_cache() == 1
     assert engine.clear_cache() == 0
+
+
+def test_clear_cache_sweeps_orphaned_temp_files(tmp_path):
+    engine = SweepEngine(jobs=1, cache_dir=tmp_path)
+    run = engine.run(SweepSpec("learning", base={"n_bursts": 3, "n_packets": 3}))
+    entry = engine._entry_path(run.records[0].key)
+    orphan = entry.with_name(entry.name + ".tmp99999")  # writer died pre-rename
+    orphan.write_text("{", encoding="utf-8")
+    assert engine.clear_cache() == 1  # orphans are not counted as entries
+    assert not orphan.exists()
 
 
 def test_cache_disabled_always_executes(tmp_path):

@@ -115,6 +115,34 @@ def test_reestimation_timer_resets_to_step():
     assert allocator.phase is AllocatorPhase.LEARNING
 
 
+def test_reestimation_timer_clears_anomaly_debounce():
+    """Regression: a stale anomaly count surviving the timer reset made a
+    *single* multi-round burst in the next converged period trigger growth,
+    defeating the growth_debounce=2 requirement."""
+    allocator = make()
+    drive_burst(allocator, 1)  # converge
+    drive_burst(allocator, 3, start=1.0)  # anomaly 1 (debounced away)
+    assert allocator.converged
+    allocator.on_reestimation_timer(10.0)  # full reset — forget everything
+    drive_burst(allocator, 1, start=11.0)  # re-converge at the step
+    drive_burst(allocator, 3, start=12.0)  # FIRST anomaly since the reset
+    assert allocator.converged  # must still be debounced
+    assert allocator.current_whitespace == pytest.approx(30e-3)
+    drive_burst(allocator, 3, start=13.0)  # second consecutive: now react
+    assert not allocator.converged
+
+
+def test_reestimation_timer_mid_burst_then_burst_end_is_noop():
+    """Timer firing mid-burst zeroes the round count; the burst's end must
+    then be a no-op (no estimate from a half-observed burst)."""
+    allocator = make()
+    allocator.grant(0.0)
+    allocator.grant(0.05)
+    allocator.on_reestimation_timer(0.08)
+    assert allocator.on_burst_end(0.1) is None
+    assert allocator.bursts_observed == 0
+
+
 def test_burst_end_without_rounds_is_noop():
     allocator = make()
     assert allocator.on_burst_end(0.0) is None
