@@ -27,8 +27,10 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
+from . import telemetry
 from .experiments import (
     CoexistenceConfig,
     SweepEngine,
@@ -40,6 +42,7 @@ from .experiments import (
     run_experiment,
 )
 from .experiments.sweep import TrialRecord
+from .log import configure as configure_logging
 
 
 def _print(title: str, rows, headers=("metric", "value")) -> None:
@@ -55,6 +58,8 @@ def _make_engine(args: argparse.Namespace, progress=None) -> SweepEngine:
         cache_dir=getattr(args, "cache_dir", None),
         cache=not getattr(args, "no_cache", False),
         progress=progress,
+        telemetry=bool(getattr(args, "metrics_out", None)),
+        quiet=getattr(args, "quiet", False),
     )
 
 
@@ -67,6 +72,44 @@ def _sweep_stats_line(run) -> str:
         f"{len(run.records)} trials: {run.executed} executed, "
         f"{run.cached_hits} cached, {run.elapsed:.2f} s wall (jobs={run.jobs})"
     )
+
+
+def _emit_telemetry(
+    args: argparse.Namespace,
+    experiment: str,
+    registry: Optional[telemetry.MetricsRegistry] = None,
+    snapshot: Optional[Dict[str, Any]] = None,
+    config: Any = None,
+    seeds: Sequence[int] = (),
+    calibration: Any = None,
+    faults: Any = None,
+    wall_time: float = 0.0,
+    headline: Optional[Dict[str, float]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write the metrics file and print the report's telemetry section."""
+    manifest = telemetry.build_manifest(
+        experiment, config=config, seeds=seeds, calibration=calibration,
+        faults=faults, wall_time_s=wall_time, metrics=headline, extra=extra,
+    )
+    lines = telemetry.export(
+        args.metrics_out, registry=registry, manifest=manifest, snapshot=snapshot,
+    )
+    snap = snapshot if snapshot is not None else (
+        registry.snapshot(spans=True) if registry is not None else {}
+    )
+    rows: List[List[Any]] = []
+    for name, value in snap.get("counters", {}).items():
+        rows.append([name, "counter", float(value)])
+    for name, value in snap.get("gauges", {}).items():
+        rows.append([name, "gauge", value])
+    for name, data in snap.get("histograms", {}).items():
+        rows.append([name, "histogram", float(data["count"])])
+    for name, data in snap.get("spans", {}).items():
+        rows.append([f"{name} (wall s)", "span", data["total_s"]])
+    if rows:
+        _print("telemetry", rows, headers=("metric", "kind", "value"))
+    print(f"telemetry: manifest + {lines} metric line(s) -> {args.metrics_out}")
 
 
 def _result_metrics(result: Any) -> Dict[str, float]:
@@ -165,8 +208,17 @@ def cmd_coexist(args: argparse.Namespace) -> int:
             [[key, value] for key, value in agg.items()],
         )
         print(_sweep_stats_line(run))
+        if args.metrics_out:
+            _emit_telemetry(
+                args, "coexistence", snapshot=run.telemetry, config=config,
+                seeds=_seed_range(args), calibration=calibration,
+                faults=config.faults, wall_time=run.elapsed, headline=agg,
+            )
         return 0
-    result = run_experiment("coexistence", config=config)
+    registry = telemetry.MetricsRegistry() if args.metrics_out else None
+    wall_start = time.perf_counter()
+    result = run_experiment("coexistence", config=config, telemetry=registry)
+    wall_time = time.perf_counter() - wall_start
     _print(
         f"coexistence: {config.scheme} at location {config.location}",
         [
@@ -186,6 +238,13 @@ def cmd_coexist(args: argparse.Namespace) -> int:
         print("injected faults: " + ", ".join(
             f"{name[len('fault_'):]}={int(count)}" for name, count in sorted(injected.items())
         ))
+    if registry is not None:
+        _emit_telemetry(
+            args, "coexistence", registry=registry, config=config,
+            seeds=(config.seed,), calibration=config.calibration,
+            faults=config.faults, wall_time=wall_time,
+            headline=result.summary(),
+        )
     return 0
 
 
@@ -201,19 +260,33 @@ def cmd_signaling(args: argparse.Namespace) -> int:
             "signaling", [params], seeds=_seed_range(args)
         )
         trials = run.results
+        headline = {
+            "precision": _mean([t.pr.precision for t in trials]),
+            "recall": _mean([t.pr.recall for t in trials]),
+            "false_positives": _mean([float(t.pr.false_positives) for t in trials]),
+            "wifi_prr": _mean([t.wifi_prr for t in trials]),
+        }
         _print(
             f"signaling: location {args.location}, {args.power:+.0f} dBm, "
             f"{args.packets} control packets (mean over {args.seeds} seeds)",
             [
-                ["precision", _mean([t.pr.precision for t in trials])],
-                ["recall", _mean([t.pr.recall for t in trials])],
-                ["false positives", _mean([float(t.pr.false_positives) for t in trials])],
-                ["wifi PRR during trial", _mean([t.wifi_prr for t in trials])],
+                ["precision", headline["precision"]],
+                ["recall", headline["recall"]],
+                ["false positives", headline["false_positives"]],
+                ["wifi PRR during trial", headline["wifi_prr"]],
             ],
         )
         print(_sweep_stats_line(run))
+        if args.metrics_out:
+            _emit_telemetry(
+                args, "signaling", snapshot=run.telemetry, config=params,
+                seeds=_seed_range(args), wall_time=run.elapsed, headline=headline,
+            )
         return 0
-    result = run_experiment("signaling", seed=args.seed, **params)
+    registry = telemetry.MetricsRegistry() if args.metrics_out else None
+    wall_start = time.perf_counter()
+    result = run_experiment("signaling", seed=args.seed, telemetry=registry, **params)
+    wall_time = time.perf_counter() - wall_start
     _print(
         f"signaling: location {args.location}, {args.power:+.0f} dBm, "
         f"{args.packets} control packets",
@@ -225,6 +298,17 @@ def cmd_signaling(args: argparse.Namespace) -> int:
             ["wifi PRR during trial", result.wifi_prr],
         ],
     )
+    if registry is not None:
+        _emit_telemetry(
+            args, "signaling", registry=registry, config=params,
+            seeds=(args.seed,), wall_time=wall_time,
+            headline={
+                "precision": result.pr.precision,
+                "recall": result.pr.recall,
+                "false_positives": float(result.pr.false_positives),
+                "wifi_prr": result.wifi_prr,
+            },
+        )
     return 0
 
 
@@ -330,12 +414,13 @@ def cmd_robustness(args: argparse.Namespace) -> int:
         "location": args.location,
         "n_bursts": args.bursts,
     }
-    points = robustness_curve(
+    points, run = robustness_curve(
         dimension=args.dimension,
         rates=rates,
         seeds=tuple(_seed_range(args)),
         base=base,
         engine=_make_engine(args),
+        return_run=True,
     )
     rows = [
         [
@@ -352,6 +437,15 @@ def cmd_robustness(args: argparse.Namespace) -> int:
         headers=("rate", "prr mean", "prr min", "mean delay (ms)",
                  "p95 delay (ms)", "throughput (kbps)"),
     )
+    print(_sweep_stats_line(run))
+    if args.metrics_out:
+        _emit_telemetry(
+            args, "robustness", snapshot=run.telemetry,
+            config={"dimension": args.dimension, "rates": rates, **base},
+            seeds=_seed_range(args), wall_time=run.elapsed,
+            headline={f"prr@{p['rate']:g}": p["prr_mean"] for p in points},
+            extra={"dimension": args.dimension, "rates": rates},
+        )
     return 0
 
 
@@ -445,6 +539,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(_sweep_stats_line(run))
     if engine.cache_enabled:
         print(f"cache: {engine.cache_dir}")
+    if args.metrics_out:
+        _emit_telemetry(
+            args, spec.name, snapshot=run.telemetry,
+            config={"grid": grid, "base": {}},
+            seeds=_seed_range(args), wall_time=run.elapsed,
+        )
     return 0
 
 
@@ -477,6 +577,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "$BICORD_SWEEP_CACHE or ~/.cache/bicord/sweeps)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the on-disk trial cache")
+        telemetry_flags(p)
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress progress output")
+
+    def telemetry_flags(p):
+        p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="collect telemetry and write manifest + metrics "
+                            "to PATH (.jsonl or .csv)")
+        p.add_argument("-v", "--verbose", action="count", default=0,
+                       help="more logging (repeatable)")
 
     p = sub.add_parser("coexist", help="one coexistence run (Fig. 10/11 style)")
     common(p)
@@ -590,6 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suppress per-trial progress lines")
     p.add_argument("--list", action="store_true",
                    help="list registered experiments and their parameters")
+    telemetry_flags(p)
     p.set_defaults(func=cmd_sweep)
 
     return parser
@@ -598,6 +709,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(
+        verbosity=getattr(args, "verbose", 0),
+        quiet=getattr(args, "quiet", False),
+    )
     return args.func(args)
 
 

@@ -8,15 +8,17 @@ short and every random draw in a scenario is derived from one seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Set
 
+from . import telemetry as _telemetry
 from .faults import FaultHarness, FaultPlan, build_harness
 from .phy.medium import Medium
 from .phy.propagation import Channel, FadingModel, PathLossModel
 from .sim.engine import Simulator
 from .sim.rng import RandomStreams
 from .sim.trace import TraceRecorder
+from .telemetry import MetricsRegistry
 
 
 @dataclass
@@ -33,6 +35,11 @@ class SimContext:
     #: harness must be installed before devices are built (pass the plan to
     #: :func:`build_context` rather than assigning afterwards).
     faults: Optional[FaultHarness] = None
+    #: Metrics registry the scenario reports to.  Captured from the active
+    #: :func:`repro.telemetry.collect` scope at build time; outside a scope
+    #: this is the shared no-op :data:`repro.telemetry.NULL` registry, so
+    #: instrumented components never need a None check.
+    telemetry: MetricsRegistry = field(default_factory=lambda: _telemetry.NULL)
 
     @property
     def now(self) -> float:
@@ -66,4 +73,5 @@ def build_context(
     return SimContext(
         sim=sim, streams=streams, trace=trace, channel=channel, medium=medium,
         faults=build_harness(faults, streams),
+        telemetry=_telemetry.active(),
     )

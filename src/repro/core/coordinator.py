@@ -33,6 +33,10 @@ from .whitespace import AdaptiveWhitespaceAllocator
 if TYPE_CHECKING:
     from ..faults.injectors import FaultHarness
 
+#: Grant-length histogram boundaries (ms): spans the allocator's range of
+#: min_whitespace=5 ms .. max_whitespace=200 ms.
+GRANT_BUCKETS_MS = (10.0, 20.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0)
+
 
 class BicordCoordinator:
     """Wi-Fi-side BiCord controller bound to a CSI-capable Wi-Fi device."""
@@ -76,6 +80,16 @@ class BicordCoordinator:
         self.requests_ignored = 0
         self.whitespace_airtime = 0.0
         self.bursts_completed = 0
+        # Telemetry: instruments are fetched once here; with telemetry off
+        # these are shared no-op singletons, so the detection path costs one
+        # dead method call and no lookups (see repro.telemetry).
+        registry = device.ctx.telemetry
+        self._metrics = registry
+        self._m_grants = registry.counter("bicord.grants")
+        self._m_ignored = registry.counter("bicord.requests_ignored")
+        self._m_bursts = registry.counter("bicord.bursts_completed")
+        self._m_grant_ms = registry.histogram("bicord.grant_ms", GRANT_BUCKETS_MS)
+        self._summary_published = False
 
     # ------------------------------------------------------------------
     # Detection path
@@ -91,11 +105,14 @@ class BicordCoordinator:
             self._burst_watch = None
         if self.grant_policy is not None and not self.grant_policy():
             self.requests_ignored += 1
+            self._m_ignored.inc()
             self.trace.record(now, "bicord.request_ignored", coordinator=self.device.name)
             return
         duration = self.allocator.grant(now)
         self._pending_grant = duration
         self.grants_issued += 1
+        self._m_grants.inc()
+        self._m_grant_ms.observe(duration * 1e3)
         self.trace.record(
             now, "bicord.grant", coordinator=self.device.name,
             duration=duration, round=self.allocator.rounds_in_current_burst,
@@ -127,6 +144,7 @@ class BicordCoordinator:
             return
         estimate = self.allocator.on_burst_end(self.sim.now)
         self.bursts_completed += 1
+        self._m_bursts.inc()
         self.trace.record(
             self.sim.now, "bicord.burst_end", coordinator=self.device.name,
             whitespace=self.allocator.current_whitespace,
@@ -157,11 +175,37 @@ class BicordCoordinator:
         )
 
     def stop(self) -> None:
-        """Cancel timers (end of experiment)."""
+        """Cancel timers (end of experiment) and publish summary telemetry."""
         if self._reestimation_event is not None:
             self._reestimation_event.cancel()
         if self._burst_watch is not None:
             self._burst_watch.cancel()
+        self.publish_metrics()
+
+    def publish_metrics(self) -> None:
+        """Write the detector/allocator end-of-run summary (idempotent).
+
+        Live counters (grants, bursts) accumulate as the run progresses;
+        the detector's sample statistics and the allocator's convergence
+        summary are cheaper to publish once, here, than per CSI sample.
+        """
+        if self._summary_published or not self._metrics.enabled:
+            return
+        self._summary_published = True
+        registry = self._metrics
+        registry.counter("detector.samples_seen").inc(self.detector.samples_seen)
+        registry.counter("detector.high_samples").inc(self.detector.high_samples)
+        registry.counter("detector.detections").inc(self.detector.detections)
+        allocator = self.allocator
+        registry.counter("allocator.learning_iterations").inc(
+            allocator.learning_iterations
+        )
+        registry.counter("allocator.bursts_observed").inc(allocator.bursts_observed)
+        registry.gauge("allocator.converged").set_max(float(allocator.converged))
+        registry.gauge("allocator.whitespace_ms").set_max(
+            allocator.current_whitespace * 1e3
+        )
+        registry.gauge("bicord.whitespace_granted_s").set_max(self.whitespace_airtime)
 
     # ------------------------------------------------------------------
     @property

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..context import SimContext
 from ..core.cti import CtiClassifier, InterfererClass, RssiFeatures, extract_features
+from ..log import get_logger
 from ..core.fingerprint import DeviceIdentifier, Fingerprint, extract_fingerprint
 from ..devices import BluetoothLink, MicrowaveOven, WifiDevice, ZigbeeDevice
 from ..mac.frames import zigbee_data_frame
@@ -37,6 +38,8 @@ from .topology import Calibration
 TRACE_DURATION = 5e-3
 TRACE_RATE_HZ = 40e3
 CAPTURE_SPACING = 8e-3
+
+_LOG = get_logger("cti")
 
 
 def _capture_many(
@@ -133,6 +136,10 @@ def build_cti_dataset(
             source, distance_m=distance, n_traces=n_traces,
             seed=seed * 1009 + salt, calibration=calibration,
         )
+        _LOG.debug(
+            "collected %d %s traces at %.1f m (noise floor %.1f dBm)",
+            len(traces), source, distance, floor,
+        )
         for trace in traces:
             features.append(extract_features(trace, floor))
             labels.append(label)
@@ -143,6 +150,7 @@ def build_cti_dataset(
         add("wifi", distance, InterfererClass.WIFI, 10 + i)
     if include_microwave:
         add("microwave", 2.0, InterfererClass.MICROWAVE, 20)
+    _LOG.debug("CTI dataset ready: %d labeled traces", len(features))
     return CtiDataset(features, labels)
 
 

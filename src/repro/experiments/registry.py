@@ -159,6 +159,7 @@ def run_experiment(
     config: Any = None,
     seed: Optional[int] = None,
     calibration: Optional[Calibration] = None,
+    telemetry: Any = None,
     **params: Any,
 ):
     """Run any registered experiment through the uniform contract.
@@ -166,10 +167,21 @@ def run_experiment(
     ``params`` are fields of the experiment's config dataclass (see
     ``get_experiment(name).param_names()``); ``seed`` and ``calibration``
     are universal and handled identically for every experiment.
+
+    ``telemetry`` is an optional :class:`repro.telemetry.MetricsRegistry`;
+    when given, the runner executes inside a collection scope so every
+    simulation context it builds reports into that registry.  ``None``
+    (the default) leaves telemetry exactly as the caller scoped it —
+    usually off, which is the zero-cost pre-telemetry code path.
     """
     spec = get_experiment(name)
     cfg = spec.make_config(config=config, **params)
-    return spec.runner(cfg, seed, calibration)
+    if telemetry is None:
+        return spec.runner(cfg, seed, calibration)
+    from ..telemetry import collect
+
+    with collect(telemetry):
+        return spec.runner(cfg, seed, calibration)
 
 
 # ----------------------------------------------------------------------

@@ -152,12 +152,16 @@ def robustness_curve(
     calibration: Optional[Calibration] = None,
     engine: Optional[Any] = None,
     jobs: int = 1,
-) -> List[Dict[str, float]]:
+    return_run: bool = False,
+):
     """PRR/latency degradation vs fault rate, aggregated over seeds.
 
     Runs the grid through the sweep engine (cached + parallelizable) and
     returns one point per rate: mean/min PRR and mean/p95 delay across
     seeds.  Pass an existing ``engine`` to share its cache configuration.
+    With ``return_run=True`` the return value is ``(points, run)`` so
+    callers can reach the underlying :class:`SweepRun` (cache statistics,
+    telemetry snapshot) without re-running the grid.
     """
     from .sweep import SweepEngine, SweepSpec  # local: avoids an import cycle
 
@@ -189,4 +193,6 @@ def robustness_curve(
             "throughput_bps": sum(r.zigbee_throughput_bps for r in group) / n,
             "seeds": n,
         })
+    if return_run:
+        return points, run
     return points

@@ -97,6 +97,7 @@ def run_signaling_trial(
     seed = effective_seed(seed)
     office = build_office(seed=seed, location=cfg.location, calibration=calibration)
     ctx = office.ctx
+    registry = ctx.telemetry
     cal = office.calibration
     WifiPacketSource(
         ctx, office.wifi_sender.mac, "F",
@@ -131,7 +132,8 @@ def run_signaling_trial(
     horizon = 0.1 + cfg.n_salvos * (
         cfg.n_control_packets * (control_duration + 0.5e-3) + cfg.salvo_gap
     )
-    ctx.sim.run(until=horizon)
+    with registry.span("signaling.sim"):
+        ctx.sim.run(until=horizon)
     driver.stop()
 
     tp = fp = 0
@@ -156,6 +158,13 @@ def run_signaling_trial(
     sender_mac = office.wifi_sender.mac
     sent = max(sender_mac.data_sent, 1)
     prr = sender_mac.data_delivered / sent
+    # Detection-quality telemetry: this runner sees ground truth (salvo
+    # windows), so false wakeups are exact here, unlike in coexistence runs.
+    registry.counter("detector.samples_seen").inc(detector.samples_seen)
+    registry.counter("detector.detections").inc(detector.detections)
+    registry.counter("detector.true_detections").inc(tp)
+    registry.counter("detector.false_wakeups").inc(fp)
+    registry.record_sim(ctx.sim)
     return SignalingTrialResult(
         cfg.location, cfg.power_dbm, cfg.n_control_packets, pr, prr
     )
@@ -247,6 +256,7 @@ def run_coexistence(
         faults=config.faults,
     )
     ctx = office.ctx
+    registry = ctx.telemetry
     cal = office.calibration
     WifiPacketSource(
         ctx, office.wifi_sender.mac, "F",
@@ -299,11 +309,12 @@ def run_coexistence(
     )
     probe.start(0.0)
     horizon = config.n_bursts * config.burst_interval
-    ctx.sim.run(until=horizon)
-    # Grace period: let in-flight packets finish (delays count, airtime too).
-    deadline = horizon + config.grace
-    while node.outstanding_packets and ctx.sim.now < deadline:
-        ctx.sim.run(until=min(ctx.sim.now + 50e-3, deadline))
+    with registry.span("coexist.sim"):
+        ctx.sim.run(until=horizon)
+        # Grace period: let in-flight packets finish (delays count, airtime too).
+        deadline = horizon + config.grace
+        while node.outstanding_packets and ctx.sim.now < deadline:
+            ctx.sim.run(until=min(ctx.sim.now + 50e-3, deadline))
     duration = ctx.sim.now
     snapshot = probe.snapshot(duration)
 
@@ -332,6 +343,21 @@ def run_coexistence(
         node.stop()
     if ctx.faults is not None:
         result.extra.update(ctx.faults.counters())
+        registry.record_faults(ctx.faults)
+    if registry.enabled:
+        registry.record_sim(ctx.sim)
+        registry.counter("coexist.zigbee_offered").inc(result.zigbee_packets_offered)
+        registry.counter("coexist.zigbee_delivered").inc(result.zigbee_packets_delivered)
+        registry.counter("coexist.zigbee_dropped").inc(result.zigbee_packets_dropped)
+        registry.counter("coexist.control_packets").inc(result.control_packets)
+        registry.counter("coexist.whitespaces_issued").inc(result.whitespaces_issued)
+        # Granted vs used white-space time: the allocator's over-provision
+        # (Fig. 9) — "used" is the ZigBee airtime that actually ran inside.
+        registry.gauge("coexist.whitespace_granted_s").set_max(result.whitespace_airtime)
+        registry.gauge("coexist.zigbee_airtime_s").set_max(snapshot.zigbee_airtime)
+        registry.gauge("coexist.channel_utilization").set_max(
+            snapshot.channel_utilization
+        )
     return result
 
 

@@ -55,13 +55,18 @@ from typing import (
 )
 
 from .. import __version__ as _CODE_VERSION
+from ..log import get_logger
 from ..serialization import canonical_dumps, from_dict, stable_hash, to_dict
+from ..telemetry import MetricsRegistry, collect as telemetry_collect, merge_snapshots
 from .registry import get_experiment, resolve_config, run_experiment
 from .topology import Calibration
 
 #: Bump when the cache entry layout changes (invalidates old entries).
 #: 2: configs grew a ``faults`` block (resolved-config hashes changed).
-CACHE_SCHEMA = 2
+#: 3: entries carry an optional ``metrics`` telemetry snapshot.
+CACHE_SCHEMA = 3
+
+_LOG = get_logger("sweep")
 
 
 def default_cache_dir() -> Path:
@@ -137,6 +142,11 @@ class TrialRecord:
     result: Any
     elapsed: float  # seconds the trial took when it actually executed
     cached: bool  # served from the on-disk cache?
+    #: Deterministic telemetry snapshot (counters/gauges/histograms) of the
+    #: trial, when the engine ran with ``telemetry=True``; cached alongside
+    #: the result, so re-runs reproduce identical metric values.  Spans
+    #: (wall-clock) never appear here — they go to the run-level profile.
+    metrics: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -149,10 +159,26 @@ class SweepRun:
     executed: int  # trials actually run this time
     cached_hits: int  # trials served from the cache
     jobs: int
+    #: Merged telemetry of the whole sweep (every trial snapshot folded
+    #: together, plus the engine's own spans), or None when the engine ran
+    #: without telemetry.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def results(self) -> List[Any]:
         return [record.result for record in self.records]
+
+    def telemetry_by_combo(self) -> Dict[Tuple[Tuple[str, Any], ...], Dict[str, Any]]:
+        """Merged per-combo metric snapshots (seeds folded together).
+
+        Empty dict when the sweep ran without telemetry.
+        """
+        merged: Dict[Tuple[Tuple[str, Any], ...], Dict[str, Any]] = {}
+        for combo, records in self.combos().items():
+            snaps = [r.metrics for r in records if r.metrics is not None]
+            if snaps:
+                merged[combo] = merge_snapshots(snaps)
+        return merged
 
     def group_by(self, *param_names: str) -> Dict[Tuple[Any, ...], List[TrialRecord]]:
         """Records bucketed by the values of the named parameters (in order)."""
@@ -190,15 +216,28 @@ def _execute_trial(
     params: Dict[str, Any],
     seed: int,
     calibration: Optional[Calibration],
-) -> Tuple[Any, float]:
-    """Worker entry point: run one trial, returning (result, elapsed).
+    telemetry: bool = False,
+) -> Tuple[Any, float, Optional[Dict[str, Any]]]:
+    """Worker entry point: run one trial -> (result, elapsed, snapshot).
 
     Top-level so ``ProcessPoolExecutor`` can pickle it by reference; also
     used verbatim by the serial path, which keeps the two modes identical.
+    With ``telemetry`` the trial runs inside its own registry scope and the
+    full snapshot (including the worker's spans) travels back to the
+    parent, which splits the deterministic sections from the profiling.
     """
     start = time.perf_counter()
-    result = run_experiment(experiment, seed=seed, calibration=calibration, **params)
-    return result, time.perf_counter() - start
+    if telemetry:
+        registry = MetricsRegistry()
+        with telemetry_collect(registry):
+            result = run_experiment(
+                experiment, seed=seed, calibration=calibration, **params
+            )
+        snapshot = registry.snapshot(spans=True)
+    else:
+        result = run_experiment(experiment, seed=seed, calibration=calibration, **params)
+        snapshot = None
+    return result, time.perf_counter() - start, snapshot
 
 
 ProgressCallback = Callable[[TrialRecord, int, int], None]
@@ -218,6 +257,14 @@ class SweepEngine:
     progress:
         ``callback(record, n_done, n_total)`` invoked as each trial
         completes (including cache hits), in completion order.
+    telemetry:
+        Collect per-trial metric snapshots (workers return them with each
+        :class:`TrialRecord`; the run exposes the merged aggregate).  Off
+        by default — trials then execute the exact pre-telemetry path.
+    quiet / progress_interval:
+        The engine logs periodic progress (trials done/total, cache hits,
+        ETA) through the ``repro.sweep`` logger roughly every
+        ``progress_interval`` seconds; ``quiet=True`` silences it.
     """
 
     def __init__(
@@ -226,6 +273,9 @@ class SweepEngine:
         cache_dir: Optional[os.PathLike] = None,
         cache: bool = True,
         progress: Optional[ProgressCallback] = None,
+        telemetry: bool = False,
+        quiet: bool = False,
+        progress_interval: float = 5.0,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -233,6 +283,9 @@ class SweepEngine:
         self.cache_enabled = bool(cache)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         self.progress = progress
+        self.telemetry = bool(telemetry)
+        self.quiet = bool(quiet)
+        self.progress_interval = float(progress_interval)
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -240,7 +293,9 @@ class SweepEngine:
     def _entry_path(self, key: str) -> Path:
         return self.cache_dir / key[:2] / f"{key}.json"
 
-    def _cache_load(self, key: str, result_cls: type) -> Optional[Tuple[Any, float]]:
+    def _cache_load(
+        self, key: str, result_cls: type
+    ) -> Optional[Tuple[Any, float, Optional[Dict[str, Any]]]]:
         if not self.cache_enabled:
             return None
         path = self._entry_path(key)
@@ -250,8 +305,13 @@ class SweepEngine:
                 return None
             if data.get("result_type") != result_cls.__name__:
                 return None
+            metrics = data.get("metrics")
+            if self.telemetry and metrics is None:
+                # The entry predates telemetry collection: re-execute so the
+                # trial's metric snapshot exists (and gets cached) too.
+                return None
             result = from_dict(result_cls, data["result"])
-            return result, float(data.get("elapsed", 0.0))
+            return result, float(data.get("elapsed", 0.0)), metrics
         except (OSError, ValueError, TypeError, KeyError):
             # Missing or corrupt entry: treat as a miss, never as an error.
             return None
@@ -259,6 +319,7 @@ class SweepEngine:
     def _cache_store(
         self, key: str, experiment: str, params: Dict[str, Any],
         seed: int, result: Any, elapsed: float,
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> None:
         if not self.cache_enabled:
             return
@@ -273,6 +334,8 @@ class SweepEngine:
                 "elapsed": float(elapsed),
                 "result": to_dict(result),
             }
+            if metrics is not None:
+                entry["metrics"] = metrics
         except TypeError as exc:
             warnings.warn(f"sweep result not cacheable: {exc}", RuntimeWarning)
             return
@@ -362,42 +425,77 @@ class SweepEngine:
         start = time.perf_counter()
         total = len(tasks)
         done = 0
+        cached_so_far = 0
+        last_report = start
         records: Dict[int, TrialRecord] = {}
         pending: List[Tuple[int, Dict[str, Any], int, str]] = []
+        run_registry = MetricsRegistry() if self.telemetry else None
 
-        def finish(record: TrialRecord) -> None:
-            nonlocal done
+        def report_progress(force: bool = False) -> None:
+            """Periodic progress through the telemetry/logging sink."""
+            nonlocal last_report
+            if self.quiet or done == 0:
+                return
+            now = time.perf_counter()
+            if not force and now - last_report < self.progress_interval:
+                return
+            last_report = now
+            elapsed = now - start
+            eta = elapsed / done * (total - done)
+            _LOG.info(
+                "%s: %d/%d trials (%d cached), %.1fs elapsed, ETA %.1fs",
+                experiment, done, total, cached_so_far, elapsed, eta,
+            )
+
+        def finish(record: TrialRecord, snapshot: Optional[Dict[str, Any]] = None) -> None:
+            nonlocal done, cached_so_far
+            if snapshot is not None:
+                # Split profiling from metrics: spans are wall-clock and only
+                # merge into the run-level profile; the deterministic sections
+                # ride on (and cache with) the record.
+                spans = snapshot.pop("spans", None)
+                record.metrics = snapshot
+                if run_registry is not None:
+                    run_registry.merge(snapshot)
+                    run_registry.merge({"spans": spans} if spans else None)
+            elif record.metrics is not None and run_registry is not None:
+                run_registry.merge(record.metrics)
             records[record.index] = record
             done += 1
+            cached_so_far += int(record.cached)
             if not record.cached:
                 self._cache_store(
                     record.key, spec.name, record.params, record.seed,
-                    record.result, record.elapsed,
+                    record.result, record.elapsed, metrics=record.metrics,
                 )
             if self.progress is not None:
                 self.progress(record, done, total)
+            report_progress(force=done == total)
 
         # Pass 1: serve everything the cache already has.
         for idx, params, seed, key in tasks:
             hit = self._cache_load(key, spec.result_cls)
             if hit is not None:
-                result, elapsed = hit
+                result, elapsed, metrics = hit
                 finish(TrialRecord(idx, spec.name, params, seed, key,
-                                   result, elapsed, cached=True))
+                                   result, elapsed, cached=True, metrics=metrics))
             else:
                 pending.append((idx, params, seed, key))
 
         # Pass 2: execute the misses, serially or across worker processes.
         if pending and (jobs == 1 or len(pending) == 1):
             for idx, params, seed, key in pending:
-                result, elapsed = _execute_trial(spec.name, params, seed, calibration)
+                result, elapsed, snapshot = _execute_trial(
+                    spec.name, params, seed, calibration, self.telemetry
+                )
                 finish(TrialRecord(idx, spec.name, params, seed, key,
-                                   result, elapsed, cached=False))
+                                   result, elapsed, cached=False), snapshot)
         elif pending:
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(_execute_trial, spec.name, params, seed, calibration):
+                    pool.submit(_execute_trial, spec.name, params, seed,
+                                calibration, self.telemetry):
                         (idx, params, seed, key)
                     for idx, params, seed, key in pending
                 }
@@ -406,16 +504,25 @@ class SweepEngine:
                     finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                     for future in finished:
                         idx, params, seed, key = futures[future]
-                        result, elapsed = future.result()
+                        result, elapsed, snapshot = future.result()
                         finish(TrialRecord(idx, spec.name, params, seed, key,
-                                           result, elapsed, cached=False))
+                                           result, elapsed, cached=False), snapshot)
 
+        wall = time.perf_counter() - start
+        run_telemetry = None
+        if run_registry is not None:
+            run_registry.counter("sweep.trials").inc(total)
+            run_registry.counter("sweep.executed").inc(len(pending))
+            run_registry.counter("sweep.cache_hits").inc(total - len(pending))
+            run_registry.observe_span("sweep.run", wall)
+            run_telemetry = run_registry.snapshot(spans=True)
         ordered = [records[idx] for idx, *_ in tasks]
         return SweepRun(
             experiment=spec.name,
             records=ordered,
-            elapsed=time.perf_counter() - start,
+            elapsed=wall,
             executed=len(pending),
             cached_hits=total - len(pending),
             jobs=jobs,
+            telemetry=run_telemetry,
         )

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, List, Optional, Tuple
 
 
@@ -75,6 +76,11 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed: int = 0
+        #: Deepest the queue ever got (includes cancelled-but-unpopped events).
+        self.queue_hwm: int = 0
+        #: Cumulative wall-clock seconds spent inside :meth:`run` — profiling
+        #: only; the simulation itself never reads it.
+        self.wall_time: float = 0.0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -93,6 +99,8 @@ class Simulator:
             )
         event = Event(time, next(self._seq), callback, tuple(args))
         heapq.heappush(self._queue, (time, event.seq, event))
+        if len(self._queue) > self.queue_hwm:
+            self.queue_hwm = len(self._queue)
         return event
 
     # ------------------------------------------------------------------
@@ -123,6 +131,7 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        wall_start = time.perf_counter()
         try:
             while not self._stopped:
                 if max_events is not None and fired >= max_events:
@@ -138,6 +147,7 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+            self.wall_time += time.perf_counter() - wall_start
 
     def stop(self) -> None:
         """Stop :meth:`run` after the currently executing event returns."""

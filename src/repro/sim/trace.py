@@ -34,26 +34,44 @@ class TraceRecorder:
 
     Recording can be restricted to a set of kinds (``enabled_kinds``) to keep
     long simulations lean; counters are always maintained for every kind.
+
+    Stored records are additionally indexed per kind, so :meth:`of_kind`
+    (which experiments call in inner loops over long traces) is a dict
+    lookup plus copy instead of a full scan of every record.
     """
 
     enabled_kinds: Optional[set] = None
     records: List[TraceRecord] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
+    _by_kind: Dict[str, List[TraceRecord]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        # Rebuild the index if the recorder was constructed pre-populated.
+        for record in self.records:
+            self._by_kind.setdefault(record.kind, []).append(record)
 
     def record(self, time: float, kind: str, **fields: Any) -> None:
         """Append a record (if the kind is enabled) and bump its counter."""
         self.counters[kind] = self.counters.get(kind, 0) + 1
         if self.enabled_kinds is not None and kind not in self.enabled_kinds:
             return
-        self.records.append(TraceRecord(time, kind, fields))
+        entry = TraceRecord(time, kind, fields)
+        self.records.append(entry)
+        bucket = self._by_kind.get(kind)
+        if bucket is None:
+            self._by_kind[kind] = [entry]
+        else:
+            bucket.append(entry)
 
     def count(self, kind: str) -> int:
         """Total number of records of ``kind`` seen (enabled or not)."""
         return self.counters.get(kind, 0)
 
     def of_kind(self, kind: str) -> List[TraceRecord]:
-        """All stored records of ``kind`` in time order."""
-        return [r for r in self.records if r.kind == kind]
+        """All stored records of ``kind`` in time order (indexed, O(matches))."""
+        return list(self._by_kind.get(kind, ()))
 
     def where(self, predicate: Callable[[TraceRecord], bool]) -> Iterator[TraceRecord]:
         """Lazily iterate over stored records matching ``predicate``."""
@@ -61,13 +79,11 @@ class TraceRecorder:
 
     def between(self, start: float, end: float, kind: Optional[str] = None) -> List[TraceRecord]:
         """Stored records with ``start <= time < end``, optionally of one kind."""
-        return [
-            r
-            for r in self.records
-            if start <= r.time < end and (kind is None or r.kind == kind)
-        ]
+        pool = self.records if kind is None else self._by_kind.get(kind, [])
+        return [r for r in pool if start <= r.time < end]
 
     def clear(self) -> None:
         """Drop stored records and counters."""
         self.records.clear()
         self.counters.clear()
+        self._by_kind.clear()

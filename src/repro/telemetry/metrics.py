@@ -1,0 +1,316 @@
+"""Metric instruments and the registry that owns them.
+
+Three deterministic instrument kinds (their values are pure functions of
+the simulation, never of wall-clock time):
+
+* :class:`Counter` — monotonically increasing event count;
+* :class:`Gauge` — last-written (or high-water) scalar;
+* :class:`Histogram` — fixed, pre-declared bucket boundaries so two runs
+  (or two worker processes) always produce structurally identical
+  distributions that merge by adding bucket counts.
+
+Plus one *profiling* instrument, :meth:`MetricsRegistry.span`, which
+aggregates **wall-clock** time per label.  Spans are deliberately kept in
+their own snapshot section: they are non-deterministic by nature and must
+never leak into cached trial results (see ``snapshot(spans=False)``).
+
+The zero-cost story: hot paths fetch their instrument objects **once** (at
+construction time) and call ``inc()`` / ``observe()`` on them.  When
+telemetry is disabled the registry is a :class:`NullRegistry`, which hands
+out shared do-nothing instruments — no dict lookups, no allocation, no
+branching in the instrumented code.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written scalar with an optional high-water helper."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Keep the largest value ever written (high-water mark)."""
+        if value > self.value:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary histogram: ``len(bounds) + 1`` buckets plus sum/count.
+
+    ``bounds`` are upper bounds of the finite buckets; observations above
+    the last bound land in the overflow bucket.  Boundaries are part of the
+    exported snapshot, so two histograms only merge when they agree.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} needs sorted, non-empty bounds")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+
+class _Span:
+    """Context manager timing one ``with`` block into a span aggregate."""
+
+    __slots__ = ("_registry", "_label", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", label: str):
+        self._registry = registry
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._registry.observe_span(self._label, time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Owns every instrument of one run and renders snapshots.
+
+    Instruments are created on first access and cached by name, so
+    ``registry.counter("x")`` is a cheap dict hit afterwards — but hot
+    paths should still fetch the object once and keep a reference.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._spans: Dict[str, List[float]] = {}  # label -> [total_s, calls]
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        elif instrument.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{instrument.bounds}, got {tuple(bounds)}"
+            )
+        return instrument
+
+    def span(self, label: str) -> _Span:
+        """``with registry.span("detector.classify"): ...`` wall-time timer."""
+        return _Span(self, label)
+
+    def observe_span(self, label: str, seconds: float, calls: int = 1) -> None:
+        cell = self._spans.get(label)
+        if cell is None:
+            self._spans[label] = [float(seconds), calls]
+        else:
+            cell[0] += seconds
+            cell[1] += calls
+
+    # ------------------------------------------------------------------
+    # Component helpers (no-ops on NullRegistry)
+    # ------------------------------------------------------------------
+    def record_sim(self, sim: Any) -> None:
+        """Publish a finished :class:`~repro.sim.engine.Simulator`'s stats.
+
+        Event and queue statistics are deterministic; the wall-clock time
+        the event loop consumed goes into the span section (profiling).
+        """
+        self.counter("sim.events_executed").inc(sim.events_processed)
+        self.gauge("sim.queue_hwm").set_max(sim.queue_hwm)
+        self.gauge("sim.time_s").set_max(sim.now)
+        if sim.wall_time > 0.0:
+            self.observe_span("sim.run", sim.wall_time)
+
+    def record_faults(self, harness: Any) -> None:
+        """Fold a fault harness's per-concern injection counts in."""
+        for name, value in harness.counters().items():
+            self.counter(f"faults.{name}").inc(int(value))
+
+    # ------------------------------------------------------------------
+    # Snapshots and merging
+    # ------------------------------------------------------------------
+    def snapshot(self, spans: bool = True) -> Dict[str, Any]:
+        """Plain-dict view of every instrument.
+
+        ``spans=False`` drops the wall-clock section — that form is what
+        sweep trials attach to cacheable records, so cached metric values
+        stay bitwise-reproducible.
+        """
+        snap: Dict[str, Any] = {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.total,
+                    "count": h.count,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+        if spans:
+            snap["spans"] = {
+                label: {"total_s": cell[0], "calls": int(cell[1])}
+                for label, cell in sorted(self._spans.items())
+            }
+        return snap
+
+    def merge(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters, histogram buckets, and span totals add; gauges keep the
+        maximum (the only order-independent reduction for high-water-style
+        gauges, which is what every built-in gauge is).
+        """
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set_max(float(value))
+        for name, data in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, data["bounds"])
+            if len(hist.counts) != len(data["counts"]):
+                raise ValueError(f"histogram {name!r} bucket count mismatch")
+            for i, n in enumerate(data["counts"]):
+                hist.counts[i] += int(n)
+            hist.total += float(data["sum"])
+            hist.count += int(data["count"])
+        for label, data in snapshot.get("spans", {}).items():
+            self.observe_span(label, float(data["total_s"]), int(data["calls"]))
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._spans.clear()
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram/span."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """Telemetry disabled: every access returns the shared no-op instrument.
+
+    Instrumented code holds references to these and calls through without
+    any conditional — disabling telemetry costs one no-op method call at
+    the few instrumented call sites and nothing anywhere else.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Any:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> Any:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Any:
+        return _NULL_INSTRUMENT
+
+    def span(self, label: str) -> Any:
+        return _NULL_INSTRUMENT
+
+    def observe_span(self, label: str, seconds: float, calls: int = 1) -> None:
+        pass
+
+    def record_sim(self, sim: Any) -> None:
+        pass
+
+    def record_faults(self, harness: Any) -> None:
+        pass
+
+    def merge(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+def merge_snapshots(snapshots: Sequence[Optional[Dict[str, Any]]]) -> Dict[str, Any]:
+    """Merge trial snapshots (``None`` entries skipped) into one snapshot."""
+    registry = MetricsRegistry()
+    for snap in snapshots:
+        registry.merge(snap)
+    return registry.snapshot(spans=True)

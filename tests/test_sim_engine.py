@@ -147,6 +147,82 @@ def test_events_processed_counter():
     assert sim.events_processed == 4
 
 
+def test_max_events_exhaustion_leaves_queue_and_resumes():
+    sim = Simulator()
+    fired = []
+    for i in range(6):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 4.0  # clock rests at the last fired event
+    assert sim.peek() == 5.0
+    assert sim.pending_count() == 2
+    sim.run()  # a second run drains the remainder
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_max_events_counts_only_fired_not_cancelled():
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(float(i + 1), fired.append, i) for i in range(6)]
+    events[0].cancel()
+    events[1].cancel()
+    sim.run(max_events=2)
+    # Cancelled events are skipped for free: the budget buys 2 real firings.
+    assert fired == [2, 3]
+
+
+def test_stop_mid_callback_does_not_advance_to_until():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append(sim.now)
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, fired.append, 2.0)
+    sim.run(until=10.0)
+    assert fired == [1.0]
+    assert sim.now == 1.0  # stop() pins the clock; no park at `until`
+
+
+def test_stopped_run_can_be_resumed():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+    sim.run()  # a fresh run() clears the stop flag
+    assert fired == [1, 2]
+
+
+def test_peek_and_pending_count_agree_after_cancellations():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    for event in events[:3]:
+        event.cancel()
+    # peek() prunes cancelled heads; pending_count() filters the whole queue.
+    assert sim.peek() == 4.0
+    assert sim.pending_count() == 2
+    events[3].cancel()
+    events[4].cancel()
+    assert sim.peek() is None
+    assert sim.pending_count() == 0
+
+
+def test_queue_hwm_and_wall_time_tracking():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(float(i + 1), lambda: None)
+    assert sim.queue_hwm == 7
+    assert sim.wall_time == 0.0
+    sim.run()
+    assert sim.queue_hwm == 7  # draining never raises the high-water mark
+    assert sim.wall_time > 0.0
+
+
 def test_reentrant_run_rejected():
     sim = Simulator()
     errors = []
