@@ -7,10 +7,13 @@ paper scenario.  They guard against performance regressions that would make
 the figure sweeps impractical.
 """
 
+import time
+
 from repro.context import build_context
 from repro.devices import WifiDevice, ZigbeeDevice
 from repro.phy.medium import Technology
 from repro.phy.propagation import FadingModel, PathLossModel, Position
+from repro.phy.rssi import RssiSampler, set_default_capture_mode
 from repro.sim.engine import Simulator
 from repro.traffic import WifiPacketSource
 
@@ -90,3 +93,99 @@ def test_scenario_realtime_factor(benchmark, emit):
         f"{events / stats.mean:.0f} events/s wall)",
     )
     assert factor > 1.0  # the simulator must outrun the channel it models
+
+
+def _rssi_capture_campaign(mode: str, n_captures: int) -> int:
+    """Back-to-back 5 ms @ 40 kHz captures on a quiet medium (pure sampler cost)."""
+    ctx = build_context(
+        seed=2,
+        path_loss=PathLossModel(),
+        fading=FadingModel(),
+        trace_kinds=set(),
+    )
+    device = ZigbeeDevice(ctx, "Z", Position(0.0, 0.0))
+    sampler = RssiSampler(device.radio, ctx.sim, ctx.streams, mode=mode)
+    captured = []
+
+    def chain(i: int = 0) -> None:
+        if i < n_captures:
+            sampler.capture(
+                5e-3, 40e3, lambda trace, i=i: (captured.append(trace), chain(i + 1))
+            )
+
+    chain()
+    ctx.sim.run(until=n_captures * 5e-3 + 1.0)
+    assert len(captured) == n_captures
+    return sum(len(t) for t in captured)
+
+
+def test_rssi_capture_cost(benchmark, emit):
+    """Segment-based capture vs the legacy per-sample path (ZiSense workload).
+
+    The segment path schedules one completion event per capture and
+    synthesizes the trace vectorized, so its cost is independent of the
+    sample rate; the legacy path pays one simulator event per sample.
+    """
+    N_CAPTURES = 25
+
+    samples = benchmark(_rssi_capture_campaign, "segment", N_CAPTURES)
+    assert samples == N_CAPTURES * 200
+
+    legacy = min(
+        _timed(_rssi_capture_campaign, "per_sample", N_CAPTURES) for _ in range(3)
+    )
+    factor = legacy / benchmark.stats.stats.mean
+    emit(
+        "rssi_capture_cost",
+        f"rssi capture speedup: {factor:.1f}x "
+        f"(segment {benchmark.stats.stats.mean * 1e3:.2f} ms, "
+        f"per-sample {legacy * 1e3:.2f} ms for {N_CAPTURES} captures)",
+    )
+    assert factor >= 5.0
+
+
+def test_rssi_capture_cost_legacy(benchmark):
+    """Reference cost of the per-sample path (baseline row in BENCH_kernels.json)."""
+    samples = benchmark(_rssi_capture_campaign, "per_sample", 25)
+    assert samples == 25 * 200
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def test_rssi_scenario_realtime_factor(benchmark, emit):
+    """Full CTI-collection scenario: simulated seconds per wall second.
+
+    Unlike :func:`test_scenario_realtime_factor` (which never touches the
+    RSSI register), this runs the Sec. IV trace-collection campaign — Wi-Fi
+    traffic plus a ZigBee collector sampling 5 ms @ 40 kHz per trace — once
+    with the segment capture path and once with the legacy path, and asserts
+    the end-to-end improvement the fast path must deliver.
+    """
+    from repro.experiments.cti_dataset import collect_traces
+
+    N_TRACES = 40
+
+    def campaign() -> int:
+        traces, _floor = collect_traces("wifi", n_traces=N_TRACES, seed=11)
+        return len(traces)
+
+    n = benchmark(campaign)
+    assert n == N_TRACES
+
+    previous = set_default_capture_mode("per_sample")
+    try:
+        legacy = min(_timed(campaign) for _ in range(3))
+    finally:
+        set_default_capture_mode(previous)
+    factor = legacy / benchmark.stats.stats.mean
+    emit(
+        "rssi_scenario_realtime_factor",
+        f"cti campaign speedup: {factor:.2f}x "
+        f"(segment {benchmark.stats.stats.mean * 1e3:.1f} ms, "
+        f"per-sample {legacy * 1e3:.1f} ms for {N_TRACES} traces)",
+    )
+    assert factor >= 1.3

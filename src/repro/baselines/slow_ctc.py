@@ -23,7 +23,7 @@ from ..core.whitespace import AdaptiveWhitespaceAllocator
 from ..devices.wifi_device import WifiDevice
 from ..devices.zigbee_device import ZigbeeDevice
 from ..mac.frames import Frame, zigbee_data_frame
-from ..phy.medium import Technology
+from ..phy.medium import WIFI_ONLY
 from ..sim.engine import Event
 from ..traffic.generators import Burst
 
@@ -185,7 +185,7 @@ class SlowCtcNode:
         self.sim.schedule(self.config.signaling.retry_backoff, self._retry)
 
     def _wifi_present(self) -> bool:
-        energy = self.device.radio.energy_dbm_of({Technology.WIFI})
+        energy = self.device.radio.energy_dbm_of(WIFI_ONLY)
         floor = self.device.radio.noise_floor_dbm
         return energy >= floor + self.config.signaling.wifi_energy_margin_db
 

@@ -29,7 +29,6 @@ import numpy as np
 
 from ..ml.decision_tree import DecisionTreeClassifier
 from ..phy.rssi import RssiTrace
-from ..sim.units import dbm_to_mw
 
 
 class InterfererClass(IntEnum):
@@ -59,19 +58,31 @@ class RssiFeatures:
         ]
 
 
+def _run_bounds(mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Start and one-past-end indices of maximal True runs (vectorized).
+
+    Transitions are located with ``np.flatnonzero(np.diff(...))`` instead of
+    a Python loop — traces are thousands of samples long and this is on the
+    CTI detection hot path.
+    """
+    m = np.asarray(mask, dtype=bool)
+    if m.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    delta = np.diff(m.view(np.int8))
+    starts = np.flatnonzero(delta == 1) + 1
+    ends = np.flatnonzero(delta == -1) + 1
+    if m[0]:
+        starts = np.concatenate(([0], starts))
+    if m[-1]:
+        ends = np.concatenate((ends, [m.size]))
+    return starts, ends
+
+
 def _runs(mask: np.ndarray) -> List[Tuple[int, int]]:
     """Maximal runs of True in ``mask`` as (start, length) pairs."""
-    runs: List[Tuple[int, int]] = []
-    start = None
-    for i, value in enumerate(mask):
-        if value and start is None:
-            start = i
-        elif not value and start is not None:
-            runs.append((start, i - start))
-            start = None
-    if start is not None:
-        runs.append((start, len(mask) - start))
-    return runs
+    starts, ends = _run_bounds(mask)
+    return list(zip(starts.tolist(), (ends - starts).tolist()))
 
 
 def extract_features(
@@ -88,20 +99,23 @@ def extract_features(
     samples = np.asarray(trace.samples_dbm, dtype=float)
     period = 1.0 / trace.rate_hz
     busy = samples >= noise_floor_dbm + busy_margin_db
-    runs = _runs(busy)
-    if runs:
-        avg_on_air = float(np.mean([length for _s, length in runs])) * period
+    starts, ends = _run_bounds(busy)
+    if starts.size:
+        avg_on_air = float(np.mean(ends - starts)) * period
     else:
         avg_on_air = 0.0
     # Gaps between consecutive busy runs.
-    if len(runs) >= 2:
-        gaps = [
-            (runs[i + 1][0] - (runs[i][0] + runs[i][1])) for i in range(len(runs) - 1)
-        ]
-        min_interval = float(min(gaps)) * period
+    if starts.size >= 2:
+        min_interval = float((starts[1:] - ends[:-1]).min()) * period
     else:
         min_interval = trace.duration
-    power_mw = np.array([dbm_to_mw(s) for s in samples])
+    # dBm -> mW via unique-value gather: quantized traces hold few distinct
+    # levels, so this is O(unique) scalar pows plus one vectorized take.  A
+    # plain ``10.0 ** (samples / 10.0)`` array pow is *not* used because
+    # numpy's SIMD pow loop differs from scalar pow by 1 ulp for some
+    # inputs, which would break bitwise reproducibility of the features.
+    unique_dbm, inverse = np.unique(samples, return_inverse=True)
+    power_mw = np.asarray([10.0 ** (u / 10.0) for u in unique_dbm])[inverse]
     mean_power = float(power_mw.mean())
     papr = float(power_mw.max() / mean_power) if mean_power > 0 else 1.0
     under_floor = float(np.mean(samples <= noise_floor_dbm + 1.0))

@@ -31,7 +31,7 @@ from ..devices.base import RxInfo
 from ..devices.zigbee_device import ZigbeeDevice
 from ..mac.frames import Frame, zigbee_control_frame, zigbee_data_frame
 from ..mac.zigbee import CHANNEL_ACCESS_FAILURE
-from ..phy.medium import Technology
+from ..phy.medium import WIFI_ONLY
 from ..traffic.generators import Burst
 from .config import BicordConfig
 from .powermap import PowerMap
@@ -198,7 +198,7 @@ class BicordNode:
     def _wifi_present(self) -> bool:
         if self.wifi_check is not None:
             return self.wifi_check()
-        energy = self.device.radio.energy_dbm_of({Technology.WIFI})
+        energy = self.device.radio.energy_dbm_of(WIFI_ONLY)
         floor = self.device.radio.noise_floor_dbm
         return energy >= floor + self.config.signaling.wifi_energy_margin_db
 

@@ -18,11 +18,11 @@ from typing import Any, List, Optional, Tuple
 from ..phy.medium import Medium, Technology, Transmission
 from ..phy.modulation import packet_success_probability
 from ..phy.propagation import Position
-from ..phy.spectrum import Band, overlap_fraction
+from ..phy.spectrum import Band
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
 from ..sim.trace import TraceRecorder
-from ..sim.units import dbm_to_mw, linear_to_db, mw_to_dbm, thermal_noise_dbm
+from ..sim.units import dbm_to_mw, mw_to_dbm, thermal_noise_dbm
 
 
 @dataclass
@@ -110,6 +110,9 @@ class Radio:
         self.enabled = True
         self.current_tx: Optional[Transmission] = None
         self._lock: Optional[_ReceptionContext] = None
+        # Reception-outcome stream, resolved once (streams.stream caches by
+        # name; this skips the f-string per received frame).
+        self._rx_rng = streams.stream(f"phy/rx/{name}")
         # PHY statistics
         self.frames_sent = 0
         self.frames_received = 0
@@ -153,10 +156,7 @@ class Radio:
     # Receive path (called by the medium)
     # ------------------------------------------------------------------
     def _captured_mw(self, tx: Transmission) -> float:
-        fraction = overlap_fraction(tx.band, self.band)
-        if fraction <= 0.0:
-            return 0.0
-        return dbm_to_mw(self.medium.rx_power_dbm(tx, self) + linear_to_db(fraction))
+        return self.medium.captured_power_mw(tx, self)
 
     def _current_interference_mw(self, exclude_tx_id: int) -> float:
         return self.medium.decoding_interference_mw(self, exclude=(exclude_tx_id,))
@@ -243,8 +243,7 @@ class Radio:
         )
         if self.energy_meter is not None:
             self.energy_meter.charge_rx(context.tx.duration)
-        rng = self.streams.stream(f"phy/rx/{self.name}")
-        delivered = rng.random() < success_p
+        delivered = self._rx_rng.random() < success_p
         if delivered:
             self.frames_received += 1
             self.trace.record(
@@ -293,9 +292,13 @@ class Radio:
 
         Active transmissions keep their cached rx powers — frames are short
         relative to motion, so this is equivalent to sampling the position at
-        frame start.
+        frame start.  The channel's deterministic gain cache is invalidated
+        (position epoch advance) so every *subsequent* frame sees the new
+        distance.
         """
         self.position = position
+        if self.medium is not None:
+            self.medium.channel.invalidate_gains()
 
 
 class Device:

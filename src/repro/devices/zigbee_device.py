@@ -39,6 +39,6 @@ class ZigbeeDevice(Device):
         super().__init__(name, radio)
         self.ctx = ctx
         self.mac = ZigbeeMac(radio, ctx.sim, trace=ctx.trace, tx_power_dbm=tx_power_dbm)
-        self.rssi = RssiSampler(radio, ctx.sim, ctx.streams)
+        self.rssi = RssiSampler(radio, ctx.sim, ctx.streams, telemetry=ctx.telemetry)
         self.energy = EnergyMeter()
         radio.energy_meter = self.energy

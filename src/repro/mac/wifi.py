@@ -30,7 +30,7 @@ from ..phy.medium import Technology
 from ..phy.modulation import WifiRate, wifi_rate
 from ..sim.engine import Event, Simulator
 from ..sim.trace import TraceRecorder
-from ..sim.units import usec
+from ..sim.units import dbm_to_mw, mw_to_dbm, usec
 from .frames import BROADCAST, Frame, FrameType, wifi_ack_frame, wifi_cts_frame
 
 #: 802.11g OFDM MAC timings.
@@ -90,6 +90,10 @@ class WifiMac:
         self._wakeup_event: Optional[Event] = None
         self._ack_timer: Optional[Event] = None
         self._awaiting_ack_for: Optional[Frame] = None
+        # Carrier-sense verdict memo, valid for one medium state epoch (the
+        # active set — and hence the sensed power — is frozen between epochs).
+        self._sense_epoch = -1
+        self._sense_busy = False
         self._was_busy = self._medium_busy()
         # Hooks
         self.frame_listeners: List[Callable[[Frame, RxInfo], None]] = []
@@ -167,9 +171,10 @@ class WifiMac:
             lock = radio.receiving_transmission()
             if lock is None or now - lock.start >= min_age:
                 return True
-        from ..sim.units import dbm_to_mw, mw_to_dbm
-
         medium = radio.medium
+        cacheable = min_age == 0.0
+        if cacheable and self._sense_epoch == medium.state_epoch:
+            return self._sense_busy
         noise_mw = dbm_to_mw(radio.noise_floor_dbm)
         wifi_mw = noise_mw
         other_mw = noise_mw
@@ -183,9 +188,14 @@ class WifiMac:
                 wifi_mw += captured
             else:
                 other_mw += captured
-        if mw_to_dbm(wifi_mw) >= self.preamble_threshold_dbm:
-            return True
-        return mw_to_dbm(other_mw) >= self.effective_ed_dbm
+        busy = (
+            mw_to_dbm(wifi_mw) >= self.preamble_threshold_dbm
+            or mw_to_dbm(other_mw) >= self.effective_ed_dbm
+        )
+        if cacheable:
+            self._sense_epoch = medium.state_epoch
+            self._sense_busy = busy
+        return busy
 
     def _tx_allowed(self) -> bool:
         return self.sim.now >= self.suppressed_until

@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..sim.engine import Simulator
 from ..sim.trace import TraceRecorder
@@ -40,7 +40,15 @@ class Technology(Enum):
     MICROWAVE = "microwave"
 
 
-@dataclass
+#: Pre-frozen technology filters for the common energy queries.  Passing one
+#: of these (or any ``frozenset``) to :meth:`Medium.interference_mw` /
+#: :meth:`Medium.inband_energy_dbm` skips the per-call set build *and* makes
+#: the query cacheable per medium state epoch.
+WIFI_ONLY: FrozenSet[Technology] = frozenset((Technology.WIFI,))
+ZIGBEE_ONLY: FrozenSet[Technology] = frozenset((Technology.ZIGBEE,))
+
+
+@dataclass(slots=True)
 class Transmission:
     """One frame (or noise burst) on the air."""
 
@@ -82,6 +90,23 @@ class Medium:
         self._tx_ids = itertools.count(1)
         # rx power of each active transmission at each attached radio, dBm.
         self._rx_power: Dict[Tuple[int, str], float] = {}
+        #: Bumped on every transmission start/end.  The in-band energy at any
+        #: radio is **piecewise-constant between epochs**, which is what the
+        #: segment-based RSSI capture and the per-epoch energy cache rely on.
+        self.state_epoch = 0
+        self._energy_observers: List[Callable[[], None]] = []
+        # Per-technology count of active transmissions (O(1) busy_with).
+        self._tech_active: Dict[Technology, int] = {t: 0 for t in Technology}
+        # Captured in-filter power of one tx at one radio, keyed by
+        # (tx_id, radio name).  The value is pure in (rx power, bands); the
+        # stored band reference guards against receivers retuning mid-flight
+        # (BLE hops reassign ``radio.band``).
+        self._captured_mw: Dict[Tuple[int, str], Tuple[Any, float]] = {}
+        # Summed interference per (radio name, technology filter), valid for
+        # one state epoch and one receive band: (epoch, band, mw).
+        self._interference_cache: Dict[
+            Tuple[str, Optional[FrozenSet[Technology]]], Tuple[int, Any, float]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -98,6 +123,33 @@ class Medium:
             if radio.name == name:
                 return radio
         raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # State epochs and energy observers
+    # ------------------------------------------------------------------
+    def add_energy_observer(self, callback: Callable[[], None]) -> None:
+        """Register ``callback()`` to run whenever the on-air set changes.
+
+        Observers fire *after* the medium state (active set, cached rx
+        powers) reflects the change, so reading any energy query from inside
+        the callback sees the new piecewise-constant level.  RSSI samplers
+        use this to enumerate the energy-constant segments of a capture
+        window without scheduling per-sample events.
+        """
+        self._energy_observers.append(callback)
+
+    def remove_energy_observer(self, callback: Callable[[], None]) -> None:
+        """Unregister a callback added by :meth:`add_energy_observer`."""
+        try:
+            self._energy_observers.remove(callback)
+        except ValueError:
+            pass
+
+    def _bump_state(self) -> None:
+        self.state_epoch += 1
+        if self._energy_observers:
+            for callback in tuple(self._energy_observers):
+                callback()
 
     # ------------------------------------------------------------------
     # Transmissions
@@ -131,6 +183,7 @@ class Medium:
             source=source,
         )
         self._active[tx.tx_id] = tx
+        self._tech_active[technology] += 1
         for radio in self.radios:
             if radio is source:
                 continue
@@ -138,6 +191,7 @@ class Medium:
                 power_dbm, source.name, source.position, radio.name, radio.position
             )
             self._rx_power[(tx.tx_id, radio.name)] = rx_dbm
+        self._bump_state()
         self.trace.record(
             self.sim.now,
             "medium.tx_start",
@@ -153,13 +207,16 @@ class Medium:
         return tx
 
     def _finish(self, tx: Transmission) -> None:
-        self._active.pop(tx.tx_id, None)
+        if self._active.pop(tx.tx_id, None) is not None:
+            self._tech_active[tx.technology] -= 1
+        self._bump_state()
         self.trace.record(self.sim.now, "medium.tx_end", source=tx.source_name)
         for radio in self.radios:
             if radio is not tx.source:
                 radio.on_transmission_end(tx)
         for radio in self.radios:
             self._rx_power.pop((tx.tx_id, radio.name), None)
+            self._captured_mw.pop((tx.tx_id, radio.name), None)
         if tx.source is not None and hasattr(tx.source, "on_own_transmission_end"):
             tx.source.on_own_transmission_end(tx)
 
@@ -182,11 +239,26 @@ class Medium:
             return rx_dbm
 
     def captured_power_mw(self, tx: Transmission, radio: Any) -> float:
-        """Power of ``tx`` that enters ``radio``'s receive filter, in mW."""
+        """Power of ``tx`` that enters ``radio``'s receive filter, in mW.
+
+        The value is a pure function of the frozen per-frame rx power and
+        the two bands, so it is computed once per (transmission, radio) and
+        cached until the transmission ends.  The cache entry remembers the
+        receive band it was computed for: a radio that retunes mid-flight
+        (BLE hopping) transparently recomputes.
+        """
+        key = (tx.tx_id, radio.name)
+        entry = self._captured_mw.get(key)
+        if entry is not None and entry[0] is radio.band:
+            return entry[1]
         fraction = overlap_fraction(tx.band, radio.band)
         if fraction <= 0.0:
-            return 0.0
-        return dbm_to_mw(self.rx_power_dbm(tx, radio) + linear_to_db(fraction))
+            value = 0.0
+        else:
+            value = dbm_to_mw(self.rx_power_dbm(tx, radio) + linear_to_db(fraction))
+        if tx.tx_id in self._active:
+            self._captured_mw[key] = (radio.band, value)
+        return value
 
     def interference_mw(
         self,
@@ -198,8 +270,27 @@ class Medium:
 
         The radio's own transmission is always excluded; ``exclude`` lists
         additional transmission ids (typically the frame being received).
+
+        ``technologies`` is ideally a ``frozenset`` (see :data:`WIFI_ONLY` /
+        :data:`ZIGBEE_ONLY`): other iterables are frozen per call.  Queries
+        without ``exclude`` are memoized per medium state epoch — repeated
+        CCA checks between transmission boundaries cost one dict probe.
         """
-        wanted = set(technologies) if technologies is not None else None
+        if technologies is None:
+            wanted = None
+        elif type(technologies) is frozenset:
+            wanted = technologies
+        else:
+            wanted = frozenset(technologies)
+        if not exclude:
+            cache_key = (radio.name, wanted)
+            cached = self._interference_cache.get(cache_key)
+            if (
+                cached is not None
+                and cached[0] == self.state_epoch
+                and cached[1] is radio.band
+            ):
+                return cached[2]
         total = 0.0
         for tx in self._active.values():
             if tx.source is radio or tx.tx_id in exclude:
@@ -207,6 +298,8 @@ class Medium:
             if wanted is not None and tx.technology not in wanted:
                 continue
             total += self.captured_power_mw(tx, radio)
+        if not exclude:
+            self._interference_cache[cache_key] = (self.state_epoch, radio.band, total)
         return total
 
     def decoding_interference_mw(
@@ -249,5 +342,9 @@ class Medium:
         return mw_to_dbm(noise_mw + self.interference_mw(radio, technologies=technologies))
 
     def busy_with(self, technology: Technology) -> bool:
-        """True if any transmission of ``technology`` is currently on the air."""
-        return any(tx.technology is technology for tx in self._active.values())
+        """True if any transmission of ``technology`` is currently on the air.
+
+        O(1): the medium keeps a per-technology count of active
+        transmissions instead of scanning the active set.
+        """
+        return self._tech_active[technology] > 0

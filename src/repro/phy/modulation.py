@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 from typing import Dict
 
 from scipy.special import erfc
@@ -92,6 +93,13 @@ def _ber_uncoded(modulation: WifiModulation, snr_per_bit: float) -> float:
 #: Approximate convolutional coding gain at useful BERs, by code rate.
 _CODING_GAIN_DB: Dict[str, float] = {"1/2": 5.0, "2/3": 4.0, "3/4": 3.5}
 
+_BITS_PER_SUBCARRIER: Dict["WifiModulation", int] = {
+    WifiModulation.BPSK: 1,
+    WifiModulation.QPSK: 2,
+    WifiModulation.QAM16: 4,
+    WifiModulation.QAM64: 6,
+}
+
 
 class WifiPhyKind(Enum):
     OFDM = "ofdm"  # 802.11g
@@ -132,12 +140,7 @@ class WifiRate:
                 return min(_ber_uncoded(WifiModulation.QPSK, snr_per_bit), 0.5)
             snr_per_bit = db_to_linear(sinr_db) * (20.0 / self.mbps)
             return min(_ber_uncoded(self.modulation, snr_per_bit), 0.5)
-        bits_per_subcarrier = {
-            WifiModulation.BPSK: 1,
-            WifiModulation.QPSK: 2,
-            WifiModulation.QAM16: 4,
-            WifiModulation.QAM64: 6,
-        }[self.modulation]
+        bits_per_subcarrier = _BITS_PER_SUBCARRIER[self.modulation]
         effective_db = sinr_db + _CODING_GAIN_DB[self.code_rate]
         snr_per_bit = db_to_linear(effective_db) / bits_per_subcarrier
         return min(_ber_uncoded(self.modulation, snr_per_bit), 0.5)
@@ -218,6 +221,7 @@ BLE_BIT_S = 1 * USEC
 BLE_HEADER_S = 40 * USEC
 
 
+@lru_cache(maxsize=1024)
 def wifi_frame_duration(mpdu_bytes: int, rate: WifiRate) -> float:
     """Airtime of an 802.11 frame carrying ``mpdu_bytes`` of MPDU.
 

@@ -17,9 +17,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 from ..sim.rng import RandomStreams
+
+#: Cache entry of :meth:`Channel.link_budget`:
+#: (tx position, rx position, path loss dB, shadowing dB, position epoch).
+_LinkBudget = Tuple["Position", "Position", float, float, int]
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,17 @@ class Channel:
     Link identity for shadowing purposes is the *name pair* of the endpoints,
     so a mobile device keeps its shadowing term while its distance changes
     (the distance-dependent part is recomputed every frame).
+
+    The deterministic part of each link budget (log-distance path loss plus
+    the static shadowing term) is cached per (tx, rx) name pair and keyed on
+    a **position epoch**: static topologies compute the ``log10`` once per
+    link and reuse it for every subsequent frame, while a call to
+    :meth:`invalidate_gains` (issued by :meth:`Radio.move_to
+    <repro.devices.base.Radio.move_to>` whenever an endpoint moves) advances
+    the epoch and lazily discards every cached budget.  Entries additionally
+    pin the exact :class:`Position` objects they were computed from, so even
+    a position swap that bypasses the epoch (e.g. constructing a fresh
+    ``Position`` in a unit test) can never be served a stale loss.
     """
 
     def __init__(
@@ -88,6 +103,48 @@ class Channel:
         self.fading = fading
         self.streams = streams
         self._shadowing_cache: Dict[Tuple[str, str], float] = {}
+        # Per-link fading generators, keyed by (tx, rx) to avoid re-deriving
+        # the stream name string on every frame.
+        self._fading_streams: Dict[Tuple[str, str], Any] = {}
+        #: Advanced by :meth:`invalidate_gains`; cached link budgets from
+        #: earlier epochs are recomputed on next use.
+        self.position_epoch = 0
+        self._gain_cache: Dict[Tuple[str, str], _LinkBudget] = {}
+        self.gain_hits = 0
+        self.gain_misses = 0
+
+    def invalidate_gains(self) -> None:
+        """Advance the position epoch after any endpoint moved.
+
+        Mobility updates go through here (see ``Radio.move_to``) so the
+        Fig. 12 experiment keeps recomputing distances while static
+        topologies pay the path-loss ``log10`` once per link.
+        """
+        self.position_epoch += 1
+
+    def link_budget(
+        self,
+        tx_name: str,
+        tx_pos: Position,
+        rx_name: str,
+        rx_pos: Position,
+    ) -> Tuple[float, float]:
+        """(path loss dB, shadowing dB) for one link, cached per epoch."""
+        key = (tx_name, rx_name)
+        entry = self._gain_cache.get(key)
+        if (
+            entry is not None
+            and entry[4] == self.position_epoch
+            and entry[0] is tx_pos
+            and entry[1] is rx_pos
+        ):
+            self.gain_hits += 1
+            return entry[2], entry[3]
+        self.gain_misses += 1
+        loss = self.path_loss.loss_db(tx_pos.distance_to(rx_pos))
+        shadow = self._shadowing_db(tx_name, rx_name)
+        self._gain_cache[key] = (tx_pos, rx_pos, loss, shadow, self.position_epoch)
+        return loss, shadow
 
     def _shadowing_db(self, tx_name: str, rx_name: str) -> float:
         key = (tx_name, rx_name) if tx_name <= rx_name else (rx_name, tx_name)
@@ -110,14 +167,18 @@ class Channel:
         rx_pos: Position,
     ) -> float:
         """Received power without the per-frame fading term."""
-        loss = self.path_loss.loss_db(tx_pos.distance_to(rx_pos))
-        return tx_power_dbm - loss + self._shadowing_db(tx_name, rx_name)
+        loss, shadow = self.link_budget(tx_name, tx_pos, rx_name, rx_pos)
+        return tx_power_dbm - loss + shadow
 
     def frame_fading_db(self, tx_name: str, rx_name: str) -> float:
         """Draw the per-frame fading term for one (frame, link) pair."""
         if self.fading.fading_sigma_db <= 0.0:
             return 0.0
-        rng = self.streams.stream(f"fading/{tx_name}->{rx_name}")
+        key = (tx_name, rx_name)
+        rng = self._fading_streams.get(key)
+        if rng is None:
+            rng = self.streams.stream(f"fading/{tx_name}->{rx_name}")
+            self._fading_streams[key] = rng
         return float(rng.normal(0.0, self.fading.fading_sigma_db))
 
     def rx_power_dbm(
