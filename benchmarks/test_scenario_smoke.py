@@ -1,0 +1,32 @@
+"""Smoke-run every library scenario with a capped event budget.
+
+Not a figure reproduction: this is the CI canary for the scenario library.
+Each built-in scenario must compile and simulate a few thousand events
+without raising, and must report a well-formed :class:`ScenarioResult`.
+Runs in the non-blocking ``scenario-smoke`` CI lane (see
+.github/workflows/ci.yml), not in the tier-1 suite.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioResult,
+    compile_scenario,
+    get_scenario,
+    scenario_names,
+)
+
+MAX_EVENTS = 5000
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_library_scenario_smoke(name):
+    spec = get_scenario(name)
+    result = compile_scenario(spec, seed=0).run(max_events=MAX_EVENTS)
+    assert isinstance(result, ScenarioResult)
+    assert result.scenario == name
+    assert result.spec_fingerprint == spec.fingerprint()
+    assert result.events_processed > 0
+    summary = result.summary()
+    assert 0.0 <= summary["delivery_ratio"] <= 1.0
+    assert 0.0 <= summary["utilization"] <= 1.5  # airtime ratio, loosely bounded

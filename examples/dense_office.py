@@ -3,68 +3,28 @@
 
 The Wi-Fi device cannot tell which ZigBee node is asking — CSI fluctuations
 are anonymous — so a single adaptive allocator serves the *aggregate*
-demand (Sec. VI's multi-node discussion).  This example runs four sensor
-links with different traffic patterns and shows the shared white spaces
-carrying all of them.
+demand (Sec. VI's multi-node discussion).  The deployment itself lives in
+the scenario library (``repro.scenarios``, name ``dense-office``); this
+script only compiles it and reports the per-sensor numbers.
 
 Run:  python examples/dense_office.py
 """
 
-import numpy as np
-
-from repro.core import BicordCoordinator, BicordNode
-from repro.devices import ZigbeeDevice
-from repro.experiments import build_office, location_powermap
-from repro.traffic import WifiPacketSource, ZigbeeBurstSource
-
-SENSORS = [
-    # (name, dx, dy, packets/burst, payload, mean interval)
-    ("door", 0.0, 0.0, 2, 20, 0.5),
-    ("hvac", -0.4, 0.3, 5, 50, 0.3),
-    ("meter", -0.8, 0.1, 8, 80, 0.6),
-    ("cam-trigger", 0.3, 0.5, 12, 100, 1.2),
-]
+from repro.scenarios import compile_scenario, get_scenario
 
 
 def main() -> None:
-    office = build_office(seed=17, location="A")
-    cal = office.calibration
-    WifiPacketSource(office.ctx, office.wifi_sender.mac, "F",
-                     payload_bytes=cal.wifi_payload_bytes, interval=cal.wifi_interval)
-    coordinator = BicordCoordinator(office.wifi_receiver)
-
-    nodes = {}
-    base = office.zigbee_sender.position
-    for i, (name, dx, dy, packets, payload, interval) in enumerate(SENSORS):
-        if i == 0:
-            device, receiver = office.zigbee_sender, "ZR"
-        else:
-            device = ZigbeeDevice(office.ctx, f"{name}", base.moved(dx, dy),
-                                  channel=cal.zigbee_channel,
-                                  tx_power_dbm=cal.zigbee_data_power_dbm)
-            hub = ZigbeeDevice(office.ctx, f"{name}-hub", base.moved(dx + 1.1, dy + 0.5),
-                               channel=cal.zigbee_channel)
-            receiver = hub.name
-        node = BicordNode(device, receiver, powermap=location_powermap("A"))
-        ZigbeeBurstSource(office.ctx, node.offer_burst, n_packets=packets,
-                          payload_bytes=payload, interval_mean=interval,
-                          poisson=True, max_bursts=10, name=name,
-                          start_delay=0.1 * i)
-        nodes[name] = node
-
-    office.ctx.sim.run(until=14.0)
-    coordinator.stop()
+    result = compile_scenario(get_scenario("dense-office"), seed=17).run()
 
     print(f"{'sensor':12} {'delivered':>10} {'mean delay':>11} {'ctrl pkts':>10}")
-    for name, node in nodes.items():
-        delays = node.packet_delays
-        print(f"{name:12} {node.packets_delivered:>10} "
-              f"{np.mean(delays) * 1e3 if delays else 0:>9.1f} ms "
-              f"{node.control_packets_sent:>9}")
-    total = sum(n.packets_delivered for n in nodes.values())
-    print(f"\ntotal: {total} packets over {coordinator.grants_issued} shared "
-          f"white spaces ({coordinator.whitespace_airtime:.2f} s reserved);")
-    print(f"the allocator settled at {coordinator.current_whitespace * 1e3:.0f} ms "
+    for name, link in result.links.items():
+        print(f"{name:12} {link.delivered:>10} "
+              f"{link.mean_delay * 1e3:>9.1f} ms "
+              f"{link.control_packets:>9}")
+    print(f"\ntotal: {result.packets_delivered} packets over "
+          f"{result.whitespaces_issued} shared white spaces "
+          f"({result.whitespace_airtime:.2f} s reserved);")
+    print(f"the allocator settled at {result.current_whitespace * 1e3:.0f} ms "
           f"per grant for the aggregate demand.")
 
 

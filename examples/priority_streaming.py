@@ -4,29 +4,32 @@
 The Wi-Fi device alternates between high-priority video streaming and
 low-priority file transfer.  While streaming, it *ignores* ZigBee requests
 (BiCord never forces the powerful device to yield); while transferring
-files, it serves them.  The ZigBee node's salvos that go unanswered are
-abandoned and retried later — its delay grows with the high-priority share,
-while video traffic sees essentially zero extra delay.
+files, it serves them.  The workload is the library scenario
+``priority-streaming`` (``repro.scenarios``) swept here over the
+high-priority share and the coordination scheme.
 
 Run:  python examples/priority_streaming.py
 """
 
-from repro.experiments import run_priority_experiment
+from repro.scenarios import compile_scenario, get_scenario
 
 
 def main() -> None:
     print("high-prio  scheme   util   zigbee-util  lo-prio-delay  hi-prio-delay  zigbee-delay")
     for proportion in (0.1, 0.3, 0.5):
         for scheme in ("bicord", "ecc"):
-            r = run_priority_experiment(
-                scheme, high_proportion=proportion, total_duration=6.0, seed=11
+            spec = get_scenario(
+                "priority-streaming", scheme=scheme,
+                high_proportion=proportion, total_duration=6.0,
             )
+            r = compile_scenario(spec, seed=11).run()
+            wifi = next(iter(r.wifi.values()))
             print(
-                f"   {proportion:.1f}    {scheme:7} {r.utilization:6.3f}   "
+                f"   {proportion:.1f}    {scheme:7} {r.channel_utilization:6.3f}   "
                 f"{r.zigbee_utilization:6.3f}      "
-                f"{r.low_priority_wifi_delay * 1e3:7.2f} ms    "
-                f"{r.high_priority_wifi_delay * 1e3:7.2f} ms   "
-                f"{r.zigbee_mean_delay * 1e3:7.1f} ms"
+                f"{wifi.mean_low_priority_delay * 1e3:7.2f} ms    "
+                f"{wifi.mean_high_priority_delay * 1e3:7.2f} ms   "
+                f"{r.mean_delay * 1e3:7.1f} ms"
             )
     print("\nWith BiCord the Wi-Fi device keeps full control: video traffic is")
     print("never preempted, and ZigBee still gets served between the streams.")

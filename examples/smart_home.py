@@ -4,63 +4,30 @@
 The scenario the paper's introduction motivates: a home full of IoT sensors
 sharing 2.4 GHz with a Wi-Fi access point.  A motion sensor reports small
 frequent bursts; a camera-trigger sensor occasionally uploads a large burst.
-Both coordinate with the same Wi-Fi receiver through BiCord — the Wi-Fi
-device learns each demand pattern from the signaling rounds alone.
+Both coordinate with the same Wi-Fi receiver through BiCord.  The
+deployment is the library scenario ``smart-home`` (``repro.scenarios``);
+this script compiles it and prints the report.
 
 Run:  python examples/smart_home.py
 """
 
-import numpy as np
-
-from repro.core import BicordCoordinator, BicordNode
-from repro.devices import ZigbeeDevice
-from repro.experiments import build_office
-from repro.phy.propagation import Position
-from repro.traffic import WifiPacketSource, ZigbeeBurstSource
+from repro.scenarios import compile_scenario, get_scenario
 
 
 def main() -> None:
-    office = build_office(seed=7, location="A")
-    ctx = office.ctx
-    cal = office.calibration
+    result = compile_scenario(get_scenario("smart-home"), seed=7).run()
 
-    WifiPacketSource(
-        ctx, office.wifi_sender.mac, "F",
-        payload_bytes=cal.wifi_payload_bytes, interval=cal.wifi_interval,
-    )
-    coordinator = BicordCoordinator(office.wifi_receiver)
-
-    # Sensor 1: the office's standard ZigBee pair = motion sensor.
-    motion = BicordNode(office.zigbee_sender, "ZR")
-    ZigbeeBurstSource(
-        ctx, motion.offer_burst, n_packets=3, payload_bytes=30,
-        interval_mean=0.25, poisson=True, max_bursts=20, name="motion",
-    )
-
-    # Sensor 2: a camera trigger near location A, larger and rarer bursts.
-    cam_dev = ZigbeeDevice(ctx, "CAM", Position(2.2, 1.3), channel=cal.zigbee_channel,
-                           tx_power_dbm=cal.zigbee_data_power_dbm)
-    cam_rx = ZigbeeDevice(ctx, "CAM-HUB", Position(3.2, 1.8), channel=cal.zigbee_channel)
-    camera = BicordNode(cam_dev, "CAM-HUB")
-    ZigbeeBurstSource(
-        ctx, camera.offer_burst, n_packets=12, payload_bytes=80,
-        interval_mean=1.0, poisson=True, max_bursts=5, name="camera",
-        start_delay=0.4,
-    )
-
-    ctx.sim.run(until=7.0)
-
-    for name, node in [("motion sensor", motion), ("camera trigger", camera)]:
-        delays = node.packet_delays
-        print(f"{name:14}: {node.packets_delivered:3d} packets, "
-              f"mean delay {np.mean(delays) * 1e3 if delays else 0:6.1f} ms, "
-              f"{node.control_packets_sent} control packets")
-    print(f"coordinator   : {coordinator.grants_issued} white spaces, "
-          f"current grant {coordinator.current_whitespace * 1e3:.1f} ms, "
-          f"{coordinator.whitespace_airtime * 1e3:.0f} ms reserved in total")
-    wifi = office.wifi_sender.mac
-    print(f"Wi-Fi AP      : {wifi.data_delivered} frames delivered "
-          f"(PRR {wifi.data_delivered / max(wifi.data_sent, 1):.3f})")
+    labels = {"motion": "motion sensor", "camera": "camera trigger"}
+    for name, link in result.links.items():
+        print(f"{labels.get(name, name):14}: {link.delivered:3d} packets, "
+              f"mean delay {link.mean_delay * 1e3:6.1f} ms, "
+              f"{link.control_packets} control packets")
+    print(f"coordinator   : {result.whitespaces_issued} white spaces, "
+          f"current grant {result.current_whitespace * 1e3:.1f} ms, "
+          f"{result.whitespace_airtime * 1e3:.0f} ms reserved in total")
+    wifi = next(iter(result.wifi.values()))
+    print(f"Wi-Fi AP      : {wifi.delivered} frames delivered "
+          f"(PRR {wifi.prr:.3f})")
 
 
 if __name__ == "__main__":

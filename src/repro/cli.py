@@ -13,6 +13,11 @@ Examples::
     python -m repro.cli sweep --experiment coexistence \
         --param scheme=bicord,ecc --param location=A,B --seeds 2 --jobs 4
     python -m repro.cli sweep --list
+    python -m repro.cli list
+    python -m repro.cli scenario list
+    python -m repro.cli scenario describe dense-office
+    python -m repro.cli scenario run dense-office --seed 0
+    python -m repro.cli scenario run grid --set n_zigbee_links=9 --seeds 3
 
 Every subcommand dispatches through the experiment registry
 (:mod:`repro.experiments.registry`) and prints a small table of the metrics
@@ -86,11 +91,14 @@ def _emit_telemetry(
     wall_time: float = 0.0,
     headline: Optional[Dict[str, float]] = None,
     extra: Optional[Dict[str, Any]] = None,
+    scenario: str = "",
+    scenario_fingerprint: str = "",
 ) -> None:
     """Write the metrics file and print the report's telemetry section."""
     manifest = telemetry.build_manifest(
         experiment, config=config, seeds=seeds, calibration=calibration,
         faults=faults, wall_time_s=wall_time, metrics=headline, extra=extra,
+        scenario=scenario, scenario_fingerprint=scenario_fingerprint,
     )
     lines = telemetry.export(
         args.metrics_out, registry=registry, manifest=manifest, snapshot=snapshot,
@@ -164,7 +172,174 @@ def _load_fault_plan(path: str):
         return loads(FaultPlan, handle.read())
 
 
+def _scenario_table() -> str:
+    from .scenarios import get_scenario_entry, scenario_names
+
+    rows = []
+    for name in scenario_names():
+        entry = get_scenario_entry(name)
+        rows.append([name, entry.description, ", ".join(entry.param_names)])
+    return format_table(
+        ["scenario", "description", "parameters"], rows,
+        title="registered scenarios",
+    )
+
+
+def _run_scenario(
+    args: argparse.Namespace,
+    name: str,
+    params: Dict[str, Any],
+    duration: Optional[float] = None,
+    max_events: Optional[int] = None,
+    fault_plan: Optional[str] = None,
+) -> int:
+    """Run one library scenario (single seed or seed-averaged via sweep)."""
+    from .experiments import ScenarioTrialConfig
+
+    try:
+        cfg = ScenarioTrialConfig(
+            scenario=name, params=params, duration=duration,
+            max_events=max_events, fault_plan=fault_plan,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if getattr(args, "seeds", 1) > 1:
+        from .serialization import to_dict
+
+        run = _make_engine(args).run_trials(
+            "scenario", [to_dict(cfg)], seeds=_seed_range(args)
+        )
+        results = run.results
+        headline = {
+            key: _mean([r.summary()[key] for r in results])
+            for key in results[0].summary()
+        }
+        _print(
+            f"scenario: {cfg.scenario} (mean over {args.seeds} seeds)",
+            [[key, value] for key, value in headline.items()],
+        )
+        print(_sweep_stats_line(run))
+        if args.metrics_out:
+            _emit_telemetry(
+                args, "scenario", snapshot=run.telemetry, config=cfg,
+                seeds=_seed_range(args), wall_time=run.elapsed, headline=headline,
+                scenario=cfg.scenario, scenario_fingerprint=cfg.spec_fingerprint,
+            )
+        return 0
+    registry = telemetry.MetricsRegistry() if args.metrics_out else None
+    wall_start = time.perf_counter()
+    result = run_experiment("scenario", config=cfg, seed=args.seed, telemetry=registry)
+    wall_time = time.perf_counter() - wall_start
+    _print(
+        f"scenario: {result.scenario} ({result.scheme}, seed {args.seed})",
+        [[key, value] for key, value in result.summary().items()],
+    )
+    link_rows = [
+        [link.name, float(link.offered), float(link.delivered),
+         link.delivery_ratio, link.mean_delay * 1e3, float(link.control_packets)]
+        for link in result.links.values()
+    ]
+    if link_rows:
+        _print(
+            "zigbee links", link_rows,
+            headers=("link", "offered", "delivered", "ratio",
+                     "mean delay (ms)", "ctrl pkts"),
+        )
+    wifi_rows = [
+        [link.name, float(link.sent), float(link.delivered), link.prr]
+        for link in result.wifi.values()
+    ]
+    if wifi_rows:
+        _print("wifi links", wifi_rows, headers=("link", "sent", "delivered", "prr"))
+    print(f"spec fingerprint: {result.spec_fingerprint}")
+    if registry is not None:
+        _emit_telemetry(
+            args, "scenario", registry=registry, config=cfg,
+            seeds=(args.seed,), wall_time=wall_time, headline=result.summary(),
+            scenario=result.scenario, scenario_fingerprint=result.spec_fingerprint,
+        )
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        print(_scenario_table())
+        return 0
+    if not args.name:
+        print("error: scenario name required for 'describe' and 'run'",
+              file=sys.stderr)
+        return 2
+    params: Dict[str, Any] = {}
+    for option in args.set or []:
+        if "=" not in option:
+            print(f"error: --set expects KEY=VALUE, got {option!r}", file=sys.stderr)
+            return 2
+        key, _, value = option.partition("=")
+        params[key.strip()] = _parse_scalar(value)
+    if args.action == "describe":
+        from .experiments import ScenarioTrialConfig
+        from .serialization import dumps
+
+        try:
+            cfg = ScenarioTrialConfig(
+                scenario=args.name, params=params,
+                duration=args.duration, fault_plan=args.fault_plan,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        spec = cfg.resolve_spec()
+        print(dumps(spec))
+        print(f"fingerprint: {spec.fingerprint()}")
+        return 0
+    return _run_scenario(
+        args, args.name, params, duration=args.duration,
+        max_events=args.max_events, fault_plan=args.fault_plan,
+    )
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in experiment_names():
+        spec = get_experiment(name)
+        rows.append([name, spec.description, ", ".join(spec.param_names())])
+    print(format_table(
+        ["experiment", "description", "parameters"], rows,
+        title="registered experiments",
+    ))
+    print()
+    print(_scenario_table())
+    return 0
+
+
 def cmd_coexist(args: argparse.Namespace) -> int:
+    if args.scenario:
+        from .scenarios import get_scenario_entry
+
+        try:
+            entry = get_scenario_entry(args.scenario)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if args.faults:
+            print("error: --faults (a FaultPlan file) does not combine with "
+                  "--scenario; use `repro scenario run --fault-plan NAME`",
+                  file=sys.stderr)
+            return 2
+        # Forward only the coexist knobs the scenario factory understands.
+        params = {
+            key: value
+            for key, value in (
+                ("scheme", args.scheme),
+                ("location", args.location),
+                ("mobility", args.mobility),
+            )
+            if key in entry.param_names
+        }
+        return _run_scenario(args, entry.name, params)
     if args.config:
         from .serialization import loads
 
@@ -414,6 +589,8 @@ def cmd_robustness(args: argparse.Namespace) -> int:
         "location": args.location,
         "n_bursts": args.bursts,
     }
+    if args.scenario:
+        base["scenario"] = args.scenario
     points, run = robustness_curve(
         dimension=args.dimension,
         rates=rates,
@@ -430,8 +607,9 @@ def cmd_robustness(args: argparse.Namespace) -> int:
         ]
         for point in points
     ]
+    workload = args.scenario if args.scenario else args.scheme
     _print(
-        f"robustness: {args.scheme} vs {args.dimension} faults "
+        f"robustness: {workload} vs {args.dimension} faults "
         f"({args.seeds} seed(s) per rate)",
         rows,
         headers=("rate", "prr mean", "prr min", "mean delay (ms)",
@@ -613,6 +791,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(e.g. {\"detection_fn_rate\": 0.2})")
     p.add_argument("--dump-config", action="store_true",
                    help="print the effective config as JSON and exit")
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="run a library scenario instead of the standard "
+                        "office workload (forwards scheme/location/mobility "
+                        "when the scenario accepts them)")
     p.set_defaults(func=cmd_coexist)
 
     p = sub.add_parser("signaling", help="precision/recall trial (Tables I-II)")
@@ -672,6 +854,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("bicord", "ecc", "csma", "predictive", "slow-ctc"),
                    default="bicord")
     p.add_argument("--bursts", type=int, default=20)
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="fault-inject a library scenario instead of the "
+                        "standard coexistence workload")
     p.set_defaults(func=cmd_robustness)
 
     p = sub.add_parser(
@@ -702,6 +887,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list registered experiments and their parameters")
     telemetry_flags(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "list", help="list registered experiments and library scenarios"
+    )
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser(
+        "scenario",
+        help="list, describe, or run library scenarios (repro.scenarios)",
+        description="Library scenarios are declarative ScenarioSpecs; "
+                    "`run` compiles one with a seed and reports its metrics, "
+                    "`describe` prints the resolved spec + fingerprint.",
+    )
+    p.add_argument("action", choices=("list", "describe", "run"))
+    p.add_argument("name", nargs="?", default=None,
+                   help="scenario name (see `scenario list`)")
+    p.add_argument("--seed", type=int, default=0)
+    sweep_flags(p)
+    p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                   help="scenario factory parameter override (repeatable)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="override the scenario's duration in seconds")
+    p.add_argument("--max-events", type=int, default=None,
+                   help="cap the simulated event count (smoke runs)")
+    p.add_argument("--fault-plan", default=None, metavar="NAME",
+                   help="named fault plan or '<dimension>:<rate>'")
+    p.set_defaults(func=cmd_scenario)
 
     return parser
 

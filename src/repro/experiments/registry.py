@@ -57,6 +57,7 @@ from .runner import (
 )
 from .metrics import CoexistenceResult
 from .robustness import RobustnessResult, RobustnessTrialConfig, run_robustness_trial
+from .scenario import ScenarioResult, ScenarioTrialConfig, run_scenario_trial
 from .topology import Calibration
 
 
@@ -246,6 +247,14 @@ register(ExperimentSpec(
     result_cls=RobustnessResult,
     description="PRR/latency degradation under injected coordination faults",
     aliases=("faults", "fault-injection"),
+))
+register(ExperimentSpec(
+    name="scenario",
+    runner=run_scenario_trial,
+    config_cls=ScenarioTrialConfig,
+    result_cls=ScenarioResult,
+    description="run any library scenario (repro.scenarios) by name",
+    aliases=("scenarios",),
 ))
 register(ExperimentSpec(
     name="ble",

@@ -45,6 +45,11 @@ class RobustnessTrialConfig:
     poisson: bool = True
     n_bursts: int = 40
     faults: Optional[FaultPlan] = None
+    #: When set, the trial runs a library scenario (``repro.scenarios``)
+    #: under the fault plan instead of the standard coexistence workload;
+    #: the burst/location knobs above are then ignored.
+    scenario: Optional[str] = None
+    scenario_params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.dimension not in DIMENSIONS:
@@ -108,6 +113,8 @@ def run_robustness_trial(
         positional_str_field="dimension",
     )
     seed = effective_seed(seed)
+    if cfg.scenario is not None:
+        return _run_scenario_robustness(cfg, seed, calibration)
     coex = CoexistenceConfig(
         scheme=cfg.scheme,
         location=cfg.location,
@@ -140,6 +147,41 @@ def run_robustness_trial(
         control_packets=result.control_packets,
         whitespaces_issued=result.whitespaces_issued,
         bursts_offered=result.zigbee_packets_offered,
+        fault_counters=counters,
+    )
+
+
+def _run_scenario_robustness(
+    cfg: RobustnessTrialConfig, seed: int, calibration: Optional[Calibration]
+) -> RobustnessResult:
+    """Fault-inject an arbitrary library scenario instead of the office."""
+    from ..scenarios import compile_scenario, get_scenario  # lazy: import cycle
+
+    spec = get_scenario(cfg.scenario, **dict(cfg.scenario_params))
+    compiled = compile_scenario(
+        spec, seed=seed, calibration=calibration, faults=cfg.plan()
+    )
+    result = compiled.run()
+    counters = {
+        key: value for key, value in result.extra.items() if key.startswith("fault_")
+    }
+    return RobustnessResult(
+        dimension=cfg.dimension,
+        rate=cfg.rate,
+        scheme=result.scheme,
+        location=spec.location,
+        duration=result.duration,
+        prr=result.delivery_ratio,
+        mean_delay=result.mean_delay,
+        p95_delay=result.p95_delay,
+        max_delay=result.max_delay,
+        zigbee_throughput_bps=result.zigbee_throughput_bps,
+        wifi_packets_delivered=sum(
+            link.delivered for link in result.wifi.values()
+        ),
+        control_packets=result.control_packets,
+        whitespaces_issued=result.whitespaces_issued,
+        bursts_offered=result.packets_offered,
         fault_counters=counters,
     )
 

@@ -64,7 +64,8 @@ from .topology import Calibration
 #: Bump when the cache entry layout changes (invalidates old entries).
 #: 2: configs grew a ``faults`` block (resolved-config hashes changed).
 #: 3: entries carry an optional ``metrics`` telemetry snapshot.
-CACHE_SCHEMA = 3
+#: 4: scenario experiment added; dict-valued results coerce typed values.
+CACHE_SCHEMA = 4
 
 _LOG = get_logger("sweep")
 

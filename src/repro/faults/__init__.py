@@ -17,10 +17,14 @@ from .injectors import (
     build_harness,
 )
 from .plan import DIMENSIONS, FaultPlan
+from .presets import FAULT_PLANS, fault_plan_names, get_fault_plan
 
 __all__ = [
     "DIMENSIONS",
+    "FAULT_PLANS",
     "FaultPlan",
+    "fault_plan_names",
+    "get_fault_plan",
     "FaultHarness",
     "build_harness",
     "CsiFaultInjector",

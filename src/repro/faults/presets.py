@@ -1,0 +1,51 @@
+"""Named fault plans, so scenario specs can reference faults by string.
+
+A :class:`~repro.scenarios.spec.ScenarioSpec` (and the CLI) names its
+fault plan instead of embedding rates: either one of the curated presets
+below, or the ``dimension:rate`` shorthand that robustness curves use
+(``"control:0.3"`` → :meth:`FaultPlan.from_dimension`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from .plan import DIMENSIONS, FaultPlan
+
+#: Curated presets: each stresses one coordination concern at a level
+#: where degradation is visible but the link stays serviceable.
+FAULT_PLANS: Dict[str, FaultPlan] = {
+    # All rates zero: bitwise-identical to running without faults.
+    "inert": FaultPlan(),
+    "lossy-control": FaultPlan(control_drop_rate=0.3, control_truncate_rate=0.15),
+    "blind-detector": FaultPlan(detection_fn_rate=0.4, detection_fp_rate=0.004),
+    "hidden-contenders": FaultPlan(cts_suppress_rate=0.35, cts_delay_rate=0.2),
+    "drifting-timers": FaultPlan(
+        reestimation_skew=-0.5, end_silence_skew=-0.4, timer_jitter=2.5e-3
+    ),
+}
+
+
+def fault_plan_names() -> Tuple[str, ...]:
+    return tuple(sorted(FAULT_PLANS))
+
+
+def get_fault_plan(name: str) -> FaultPlan:
+    """Resolve a preset name or ``dimension:rate`` spec to a plan copy."""
+    key = name.strip().lower()
+    if key in FAULT_PLANS:
+        return dataclasses.replace(FAULT_PLANS[key])
+    if ":" in key:
+        dimension, _, rate_text = key.partition(":")
+        try:
+            rate = float(rate_text)
+        except ValueError:
+            raise ValueError(
+                f"bad fault plan {name!r}: rate {rate_text!r} is not a number"
+            ) from None
+        return FaultPlan.from_dimension(dimension, rate)
+    raise KeyError(
+        f"unknown fault plan {name!r}; available: {', '.join(fault_plan_names())} "
+        f"or '<dimension>:<rate>' with dimension in {DIMENSIONS}"
+    )

@@ -1,0 +1,74 @@
+"""Declarative scenario subsystem: spec -> compiler -> running simulation.
+
+``repro.scenarios`` turns coexistence deployments into data: a
+:class:`ScenarioSpec` describes devices, placements, traffic, the
+coordination scheme, mobility, and an optional fault plan; the compiler
+builds a ready simulation from spec + seed; procedural generators emit
+dense deployments; and a registry exposes a built-in library (office,
+smart-home, dense-office, mobile-workshop, priority-streaming, grid,
+random-uniform, clustered) to the experiment registry, the sweep engine
+(cache keyed on the spec fingerprint), and the CLI
+(``repro scenario list|describe|run``).
+"""
+
+from ..experiments.scenario import (
+    LinkResult,
+    ScenarioResult,
+    ScenarioTrialConfig,
+    WifiLinkResult,
+    run_scenario_trial,
+)
+from .compiler import CompiledScenario, compile_scenario
+from .generators import TRAFFIC_PROFILES, clustered, grid, random_uniform
+from .library import (
+    SCENARIOS,
+    ScenarioEntry,
+    get_scenario,
+    get_scenario_entry,
+    register_scenario,
+    scenario_names,
+)
+from .spec import (
+    BACKENDS,
+    BurstTrafficSpec,
+    CoordinatorSpec,
+    MobilitySpec,
+    ScenarioSpec,
+    SpecError,
+    WifiLinkSpec,
+    WifiTrafficSpec,
+    ZigbeeLinkSpec,
+    load_spec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BurstTrafficSpec",
+    "CompiledScenario",
+    "CoordinatorSpec",
+    "LinkResult",
+    "MobilitySpec",
+    "SCENARIOS",
+    "ScenarioEntry",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ScenarioTrialConfig",
+    "SpecError",
+    "TRAFFIC_PROFILES",
+    "WifiLinkResult",
+    "WifiLinkSpec",
+    "WifiTrafficSpec",
+    "ZigbeeLinkSpec",
+    "clustered",
+    "compile_scenario",
+    "get_scenario",
+    "get_scenario_entry",
+    "grid",
+    "load_spec",
+    "random_uniform",
+    "register_scenario",
+    "run_scenario_trial",
+    "scenario_names",
+    "spec_from_dict",
+]

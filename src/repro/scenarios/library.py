@@ -1,0 +1,364 @@
+"""The scenario registry and the built-in scenario library.
+
+Scenarios register as named factories: a factory takes keyword parameters
+(its signature *is* its parameter schema — ``repro scenario list`` shows
+it) and returns a :class:`~repro.scenarios.spec.ScenarioSpec`.
+:func:`get_scenario` resolves a name (case/underscore-insensitive),
+checks the parameters against the factory signature, and pins the spec's
+``name`` to the library name so results and manifests always carry the
+canonical identity.
+
+The built-ins are the deployments the repo previously hard-coded under
+``examples/`` (office, smart-home, dense-office, mobile-workshop,
+priority-streaming) plus the three procedural generators from
+:mod:`.generators` — every one of them is now sweepable, cacheable,
+fault-injectable, and fingerprinted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from typing import Callable, Dict, Optional, Tuple
+
+from ..experiments.topology import LOCATIONS, ZIGBEE_RECEIVER_OFFSET
+from . import generators
+from .spec import (
+    BurstTrafficSpec,
+    CoordinatorSpec,
+    MobilitySpec,
+    ScenarioSpec,
+    WifiLinkSpec,
+    WifiTrafficSpec,
+    ZigbeeLinkSpec,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioEntry:
+    """One registered scenario: a named, parameterized spec factory."""
+
+    name: str
+    factory: Callable[..., ScenarioSpec]
+    description: str
+
+    @property
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(inspect.signature(self.factory).parameters)
+
+    @property
+    def defaults(self) -> Dict[str, object]:
+        return {
+            name: parameter.default
+            for name, parameter in inspect.signature(self.factory).parameters.items()
+            if parameter.default is not inspect.Parameter.empty
+        }
+
+
+SCENARIOS: Dict[str, ScenarioEntry] = {}
+
+
+def _canonical(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def register_scenario(
+    name: str, factory: Callable[..., ScenarioSpec], description: str = ""
+) -> ScenarioEntry:
+    """Register (or replace) a scenario factory under ``name``."""
+    entry = ScenarioEntry(
+        name=_canonical(name),
+        factory=factory,
+        description=description or (inspect.getdoc(factory) or "").split("\n")[0],
+    )
+    SCENARIOS[entry.name] = entry
+    return entry
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(sorted(SCENARIOS))
+
+
+def get_scenario_entry(name: str) -> ScenarioEntry:
+    key = _canonical(name)
+    if key not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
+        )
+    return SCENARIOS[key]
+
+
+def get_scenario(name: str, **params) -> ScenarioSpec:
+    """Build the named scenario's spec with factory parameter overrides."""
+    entry = get_scenario_entry(name)
+    unknown = sorted(set(params) - set(entry.param_names))
+    if unknown:
+        raise TypeError(
+            f"scenario {entry.name!r} got unknown parameter(s) {unknown}; "
+            f"valid: {sorted(entry.param_names)}"
+        )
+    spec = entry.factory(**params)
+    if spec.name != entry.name:
+        spec = dataclasses.replace(spec, name=entry.name)
+    spec.validate()
+    return spec
+
+
+# ======================================================================
+# Built-in library
+# ======================================================================
+def _pos(location: str) -> Tuple[float, float]:
+    position = LOCATIONS[location]
+    return (position.x, position.y)
+
+
+def office(
+    location: str = "A",
+    scheme: str = "bicord",
+    n_bursts: int = 30,
+    burst_packets: int = 5,
+    payload_bytes: int = 50,
+    burst_interval: float = 0.2,
+    poisson: bool = True,
+    mobility: str = "none",
+) -> ScenarioSpec:
+    """The paper's Fig. 6 office: one Wi-Fi link, one ZigBee pair."""
+    sender_pos = _pos(location)
+    return ScenarioSpec(
+        name="office",
+        description=(
+            f"Fig. 6 office at location {location}: saturated Wi-Fi vs one "
+            f"bursty ZigBee link under {scheme}"
+        ),
+        duration=n_bursts * burst_interval,
+        grace=2.0,
+        backend="office",
+        location=location,
+        wifi=(WifiLinkSpec(),),
+        zigbee=(
+            ZigbeeLinkSpec(
+                name="zigbee",
+                sender="ZS",
+                receiver="ZR",
+                sender_pos=sender_pos,
+                receiver_pos=(
+                    sender_pos[0] + ZIGBEE_RECEIVER_OFFSET[0],
+                    sender_pos[1] + ZIGBEE_RECEIVER_OFFSET[1],
+                ),
+                traffic=BurstTrafficSpec(
+                    n_packets=burst_packets,
+                    payload_bytes=payload_bytes,
+                    interval_mean=burst_interval,
+                    poisson=poisson,
+                    max_bursts=n_bursts,
+                ),
+            ),
+        ),
+        coordinator=CoordinatorSpec(scheme=scheme),
+        mobility=MobilitySpec(kind=mobility),
+    )
+
+
+def smart_home(scheme: str = "bicord", duration: float = 7.0) -> ScenarioSpec:
+    """A motion sensor plus a camera trigger sharing one busy Wi-Fi AP."""
+    base = _pos("A")
+    return ScenarioSpec(
+        name="smart-home",
+        description=(
+            "Smart home: frequent small motion bursts + rare large camera "
+            "uploads, both coordinating with one Wi-Fi AP"
+        ),
+        duration=duration,
+        backend="office",
+        location="A",
+        wifi=(WifiLinkSpec(),),
+        zigbee=(
+            ZigbeeLinkSpec(
+                name="motion",
+                sender="ZS",
+                receiver="ZR",
+                sender_pos=base,
+                receiver_pos=(
+                    base[0] + ZIGBEE_RECEIVER_OFFSET[0],
+                    base[1] + ZIGBEE_RECEIVER_OFFSET[1],
+                ),
+                traffic=BurstTrafficSpec(
+                    n_packets=3, payload_bytes=30, interval_mean=0.25, max_bursts=20
+                ),
+            ),
+            ZigbeeLinkSpec(
+                name="camera",
+                sender="CAM",
+                receiver="CAM-HUB",
+                sender_pos=(2.2, 1.3),
+                receiver_pos=(3.2, 1.8),
+                traffic=BurstTrafficSpec(
+                    n_packets=12, payload_bytes=80, interval_mean=1.0,
+                    max_bursts=5, start_delay=0.4,
+                ),
+            ),
+        ),
+        coordinator=CoordinatorSpec(scheme=scheme),
+    )
+
+
+#: (name, dx, dy, packets/burst, payload, mean interval) — the dense-office
+#: sensor table the example used; sensor 0 rides the office's ZS/ZR pair.
+DENSE_OFFICE_SENSORS = (
+    ("door", 0.0, 0.0, 2, 20, 0.5),
+    ("hvac", -0.4, 0.3, 5, 50, 0.3),
+    ("meter", -0.8, 0.1, 8, 80, 0.6),
+    ("cam-trigger", 0.3, 0.5, 12, 100, 1.2),
+)
+
+
+def dense_office(
+    n_sensors: int = 4,
+    duration: float = 14.0,
+    scheme: str = "bicord",
+    max_bursts: Optional[int] = 10,
+) -> ScenarioSpec:
+    """Four heterogeneous sensor links served by one shared coordinator."""
+    if not 1 <= n_sensors <= len(DENSE_OFFICE_SENSORS):
+        raise ValueError(
+            f"n_sensors must be in [1, {len(DENSE_OFFICE_SENSORS)}], got {n_sensors}"
+        )
+    base = _pos("A")
+    zigbee = []
+    for i, (name, dx, dy, packets, payload, interval) in enumerate(
+        DENSE_OFFICE_SENSORS[:n_sensors]
+    ):
+        traffic = BurstTrafficSpec(
+            n_packets=packets, payload_bytes=payload, interval_mean=interval,
+            max_bursts=max_bursts, start_delay=0.1 * i,
+        )
+        if i == 0:
+            link = ZigbeeLinkSpec(
+                name=name, sender="ZS", receiver="ZR",
+                sender_pos=base,
+                receiver_pos=(
+                    base[0] + ZIGBEE_RECEIVER_OFFSET[0],
+                    base[1] + ZIGBEE_RECEIVER_OFFSET[1],
+                ),
+                traffic=traffic,
+            )
+        else:
+            link = ZigbeeLinkSpec(
+                name=name, receiver=f"{name}-hub",
+                sender_pos=(base[0] + dx, base[1] + dy),
+                receiver_pos=(base[0] + dx + 1.1, base[1] + dy + 0.5),
+                traffic=traffic,
+            )
+        zigbee.append(link)
+    return ScenarioSpec(
+        name="dense-office",
+        description=(
+            f"{n_sensors} heterogeneous sensor links sharing one coordinator "
+            "(the allocator serves the aggregate demand)"
+        ),
+        duration=duration,
+        backend="office",
+        location="A",
+        wifi=(WifiLinkSpec(),),
+        zigbee=tuple(zigbee),
+        coordinator=CoordinatorSpec(scheme=scheme),
+    )
+
+
+def mobile_workshop(
+    mobility: str = "none", scheme: str = "bicord", n_bursts: int = 25
+) -> ScenarioSpec:
+    """Sec. VIII-F mobility: a walking person or a wandering ZigBee sender."""
+    spec = office(
+        scheme=scheme, n_bursts=n_bursts, burst_interval=0.2, mobility=mobility
+    )
+    return dataclasses.replace(
+        spec,
+        name="mobile-workshop",
+        description=(
+            f"Office link with mobility={mobility!r}: CSI perturbation "
+            "(person) or a sender wandering within 1 m (device)"
+        ),
+    )
+
+
+def priority_streaming(
+    scheme: str = "bicord",
+    high_proportion: float = 0.3,
+    total_duration: float = 6.0,
+) -> ScenarioSpec:
+    """Sec. VIII-G: Wi-Fi alternates video (high) and file (low) phases."""
+    if scheme not in ("bicord", "ecc"):
+        raise ValueError(
+            f"priority-streaming compares bicord and ecc, got {scheme!r}"
+        )
+    base = _pos("A")
+    return ScenarioSpec(
+        name="priority-streaming",
+        description=(
+            "Prioritized Wi-Fi traffic: the coordinator only grants white "
+            "spaces during low-priority phases"
+        ),
+        duration=total_duration + 0.5,
+        backend="office",
+        location="A",
+        wifi=(
+            WifiLinkSpec(
+                traffic=WifiTrafficSpec(
+                    kind="priority",
+                    high_proportion=high_proportion,
+                    total_duration=total_duration,
+                ),
+            ),
+        ),
+        zigbee=(
+            ZigbeeLinkSpec(
+                name="zigbee",
+                sender="ZS",
+                receiver="ZR",
+                sender_pos=base,
+                receiver_pos=(
+                    base[0] + ZIGBEE_RECEIVER_OFFSET[0],
+                    base[1] + ZIGBEE_RECEIVER_OFFSET[1],
+                ),
+                traffic=BurstTrafficSpec(
+                    n_packets=5, payload_bytes=50, interval_mean=0.2,
+                    max_bursts=int(total_duration / 0.2),
+                ),
+            ),
+        ),
+        coordinator=CoordinatorSpec(scheme=scheme),
+    )
+
+
+register_scenario(
+    "office", office, "The paper's Fig. 6 office: one Wi-Fi link, one ZigBee pair"
+)
+register_scenario(
+    "smart-home", smart_home,
+    "Motion sensor + camera trigger sharing one busy Wi-Fi AP",
+)
+register_scenario(
+    "dense-office", dense_office,
+    "Four heterogeneous sensor links served by one shared coordinator",
+)
+register_scenario(
+    "mobile-workshop", mobile_workshop,
+    "Office link with a walking person or a wandering ZigBee sender",
+)
+register_scenario(
+    "priority-streaming", priority_streaming,
+    "Wi-Fi alternates video/file phases; grants only in low-priority phases",
+)
+register_scenario(
+    "grid", generators.grid,
+    "Procedural: N ZigBee links on a deterministic square grid",
+)
+register_scenario(
+    "random-uniform", generators.random_uniform,
+    "Procedural: N ZigBee links dropped uniformly at random over an area",
+)
+register_scenario(
+    "clustered", generators.clustered,
+    "Procedural: ZigBee links grouped into seeded hotspot clusters",
+)

@@ -96,6 +96,11 @@ def _coerce(target: Any, value: Any) -> Any:
         items = [_coerce(inner, item) for item in value]
         return tuple(items) if origin is tuple else items
     if origin is dict and isinstance(value, dict):
+        args = get_args(target)
+        if len(args) == 2:
+            # Typed dicts (e.g. Dict[str, LinkResult]) coerce their values so
+            # dataclass-valued results round-trip through the sweep cache.
+            return {key: _coerce(args[1], item) for key, item in value.items()}
         return dict(value)
     return value
 

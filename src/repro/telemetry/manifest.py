@@ -37,6 +37,10 @@ class RunManifest:
     #: The headline numbers of the run (result summary / aggregate).
     metrics: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Library scenario identity, when the run compiled one ("" otherwise):
+    #: the canonical name plus the content address of the resolved spec.
+    scenario: str = ""
+    scenario_fingerprint: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return to_dict(self)
@@ -64,6 +68,8 @@ def build_manifest(
     metrics: Optional[Dict[str, float]] = None,
     extra: Optional[Dict[str, Any]] = None,
     started_at: Optional[float] = None,
+    scenario: str = "",
+    scenario_fingerprint: str = "",
 ) -> RunManifest:
     """Assemble a manifest from the objects a runner already has in hand.
 
@@ -89,4 +95,6 @@ def build_manifest(
         wall_time_s=float(wall_time_s),
         metrics=dict(metrics or {}),
         extra=dict(extra or {}),
+        scenario=scenario,
+        scenario_fingerprint=scenario_fingerprint,
     )

@@ -154,3 +154,53 @@ def test_sweep_clear_cache(tmp_path, capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "cleared 1 cache entries" in out
+
+
+# ----------------------------------------------------------------------
+# Scenario subcommands
+# ----------------------------------------------------------------------
+def test_list_shows_experiments_and_scenarios(capsys):
+    code = main(["list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "coexistence" in out
+    assert "dense-office" in out
+
+
+def test_scenario_list(capsys):
+    code = main(["scenario", "list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "smart-home" in out and "grid" in out
+
+
+def test_scenario_describe_prints_spec_and_fingerprint(capsys):
+    code = main(["scenario", "describe", "office"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert '"backend": "office"' in out
+    assert "fingerprint" in out
+
+
+def test_scenario_run_with_overrides(capsys):
+    code = main(["scenario", "run", "grid", "--set", "n_zigbee_links=2",
+                 "--set", "max_bursts=3", "--duration", "1.5",
+                 "--max-events", "1500", "--seed", "0"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "delivery_ratio" in out
+    assert "spec fingerprint:" in out
+
+
+def test_scenario_run_unknown_name_errors(capsys):
+    code = main(["scenario", "run", "atlantis"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "atlantis" in err
+
+
+def test_scenario_run_unknown_param_errors(capsys):
+    code = main(["scenario", "run", "grid", "--set", "warp=9"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "warp" in err

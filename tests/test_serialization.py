@@ -70,6 +70,25 @@ def test_json_output_is_stable_and_readable():
     assert text == dumps(Calibration())
 
 
+def test_dict_valued_fields_coerce_typed_values():
+    """Dict[str, Dataclass] fields round-trip as dataclasses, not raw dicts."""
+    from repro.experiments.metrics import UtilizationSnapshot
+    from repro.experiments.scenario import LinkResult, ScenarioResult
+
+    result = ScenarioResult(
+        scenario="t", seed=0, scheme="bicord", duration=1.0,
+        spec_fingerprint="f",
+        utilization=UtilizationSnapshot(
+            duration=1.0, wifi_airtime=0.2, zigbee_airtime=0.1),
+        links={"z": LinkResult(name="z", offered=4, delivered=3,
+                               delays=[0.01, 0.02])},
+    )
+    restored = from_dict(ScenarioResult, to_dict(result))
+    assert isinstance(restored.links["z"], LinkResult)
+    assert restored.links["z"].delivery_ratio == pytest.approx(0.75)
+    assert restored == result
+
+
 def test_validation_still_runs_on_deserialization():
     """__post_init__ checks fire when configs are rebuilt from dicts."""
     data = to_dict(CoexistenceConfig())
