@@ -1,0 +1,89 @@
+"""Campaign-runner smoke: 2-shard capped-event campaign with forced kill+resume.
+
+Not a figure reproduction: this is the CI canary for the campaign runner
+(``repro.experiments.campaign``).  It runs a small two-shard scenario
+campaign under a capped event budget, SIGTERMs the process mid-run, resumes
+it through the CLI, and checks the crash-safety contract: every journaled
+trial is served from cache on resume (zero recomputation) and the final
+report carries per-scheme confidence intervals.  Runs in the non-blocking
+``campaign-smoke`` CI lane (see .github/workflows/ci.yml), not in the
+tier-1 suite.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.campaign import CampaignJournal, CampaignRunner
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+# Two library scenarios x two seeds, sharded 2-ways, each trial capped to a
+# few thousand simulator events so the whole campaign stays under a minute.
+CAMPAIGN_ARGS = [
+    "campaign", "run", "--name", "ci-smoke",
+    "--experiment", "scenario",
+    "--param", "scenario=smart-home,office",
+    "--base", "max_events=4000",
+    "--seeds", "2", "--shards", "2", "--compare-by", "scenario", "--quiet",
+]
+TOTAL_TRIALS = 4
+
+
+def _spawn(directory, cache):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env["BICORD_SWEEP_CACHE"] = str(cache)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *CAMPAIGN_ARGS,
+         "--dir", str(directory)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for_journal(path, n_trials, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, done = CampaignJournal(path).read()
+        if len(done) >= n_trials:
+            return done
+        time.sleep(0.05)
+    raise AssertionError(f"journal never reached {n_trials} trials")
+
+
+def test_campaign_smoke_kill_and_resume(tmp_path):
+    directory = tmp_path / "smoke"
+    cache = tmp_path / "cache"
+
+    proc = _spawn(directory, cache)
+    try:
+        _wait_for_journal(directory / "journal.jsonl", 1)
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    _, done_before = CampaignJournal(directory / "journal.jsonl").read()
+    assert len(done_before) >= 1
+
+    # Resume in-process: only the un-journaled remainder may execute.
+    run = CampaignRunner(directory, cache_dir=cache, quiet=True).run()
+    assert run.complete and run.total == TOTAL_TRIALS
+    assert run.executed <= TOTAL_TRIALS - len(done_before)
+    assert run.executed + run.cached_hits == TOTAL_TRIALS - len(done_before)
+
+    # The campaign report aggregates per scenario with 95% CIs.
+    report = json.loads((directory / "report.json").read_text())
+    assert set(report) == {"smart-home", "office"}
+    for group in report.values():
+        assert all("ci95" in summary for summary in group.values())
+
+    # A second full run is pure replay: zero cache misses.
+    replay = CampaignRunner(directory, cache_dir=cache, quiet=True).run()
+    assert replay.complete and replay.executed == 0
+    assert replay.cached_hits == 0  # nothing pending: journal already full

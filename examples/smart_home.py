@@ -5,17 +5,24 @@ The scenario the paper's introduction motivates: a home full of IoT sensors
 sharing 2.4 GHz with a Wi-Fi access point.  A motion sensor reports small
 frequent bursts; a camera-trigger sensor occasionally uploads a large burst.
 Both coordinate with the same Wi-Fi receiver through BiCord.  The
-deployment is the library scenario ``smart-home`` (``repro.scenarios``);
-this script compiles it and prints the report.
+deployment is the library scenario ``smart-home``; this script drives it
+through the stable ``repro.api`` facade — resolving the spec by name,
+running one trial, and re-reading the cached result afterwards.
 
 Run:  python examples/smart_home.py
 """
 
-from repro.scenarios import compile_scenario, get_scenario
+import repro.api as bicord
 
 
 def main() -> None:
-    result = compile_scenario(get_scenario("smart-home"), seed=7).run()
+    # The spec is data: resolve it by name to inspect before running.
+    spec = bicord.load_scenario("smart-home")
+    print(f"scenario {spec.name!r}: {len(spec.zigbee)} ZigBee link(s), "
+          f"{len(spec.wifi)} Wi-Fi link(s), "
+          f"{spec.duration:.0f} s [{spec.fingerprint()[:12]}]\n")
+
+    result = bicord.run("scenario", scenario="smart-home", seed=7)
 
     labels = {"motion": "motion sensor", "camera": "camera trigger"}
     for name, link in result.links.items():
@@ -28,6 +35,15 @@ def main() -> None:
     wifi = next(iter(result.wifi.values()))
     print(f"Wi-Fi AP      : {wifi.delivered} frames delivered "
           f"(PRR {wifi.prr:.3f})")
+
+    # The trial above ran outside the cache (bicord.run is one-shot); a
+    # one-seed sweep memoizes it, after which get_result() serves the
+    # identical result without simulating anything.
+    bicord.sweep("scenario", base={"scenario": "smart-home"}, seeds=(7,))
+    cached = bicord.get_result("scenario", {"scenario": "smart-home"}, seed=7)
+    assert cached is not None and cached.trace_digest == result.trace_digest
+    print("\ncached replay matches the live run "
+          f"(trace digest {result.trace_digest[:12]})")
 
 
 if __name__ == "__main__":

@@ -122,6 +122,9 @@ def _emit_telemetry(
 
 def _result_metrics(result: Any) -> Dict[str, float]:
     """Flat numeric view of any registered result (for sweep tables)."""
+    metrics_fn = getattr(result, "metrics", None)
+    if callable(metrics_fn):  # the ExperimentResult contract
+        return dict(metrics_fn())
     if hasattr(result, "summary"):
         return dict(result.summary())
     metrics: Dict[str, float] = {}
@@ -158,6 +161,60 @@ def _parse_param(option: str) -> Dict[str, List[Any]]:
         )
     key, _, values = option.partition("=")
     return {key.strip(): [_parse_scalar(v) for v in values.split(",") if v != ""]}
+
+
+def _expand_range_values(values: List[Any]) -> List[Any]:
+    """Expand 'A:B' items into the half-open int range A..B-1.
+
+    Campaign grids routinely span hundreds of values per axis (e.g.
+    ``placement_seed=0:100``); listing them comma-separated is hopeless.
+    Non-range items pass through untouched, so ``control:0.3``-style
+    strings still parse as plain values.
+    """
+    out: List[Any] = []
+    for value in values:
+        if isinstance(value, str) and value.count(":") == 1:
+            lo, _, hi = value.partition(":")
+            try:
+                out.extend(range(int(lo), int(hi)))
+                continue
+            except ValueError:
+                pass
+        out.append(value)
+    return out
+
+
+def _run_seed_averaged(
+    args: argparse.Namespace,
+    experiment: str,
+    params: Dict[str, Any],
+    title: str,
+) -> int:
+    """Shared multi-seed path: sweep-engine run, mean table, telemetry.
+
+    Every single-trial subcommand funnels through here when ``--seeds N``
+    exceeds 1, so seed averaging, ``--jobs`` parallelism, caching, and
+    ``--metrics-out`` behave identically across the whole CLI.
+    """
+    run = _make_engine(args).run_trials(
+        experiment, [params], seeds=_seed_range(args)
+    )
+    per_trial = [_result_metrics(result) for result in run.results]
+    headline = {
+        name: _mean([m.get(name, 0.0) for m in per_trial])
+        for name in per_trial[0]
+    }
+    _print(
+        f"{title} (mean over {args.seeds} seeds)",
+        [[name, value] for name, value in headline.items()],
+    )
+    print(_sweep_stats_line(run))
+    if args.metrics_out:
+        _emit_telemetry(
+            args, experiment, snapshot=run.telemetry, config=params,
+            seeds=_seed_range(args), wall_time=run.elapsed, headline=headline,
+        )
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -488,14 +545,22 @@ def cmd_signaling(args: argparse.Namespace) -> int:
 
 
 def cmd_learning(args: argparse.Namespace) -> int:
-    result = run_experiment(
-        "learning",
-        seed=args.seed,
+    params = dict(
         n_packets=args.packets,
         step=args.step * 1e-3,
         location=args.location,
         n_bursts=args.bursts,
     )
+    if args.seeds > 1:
+        return _run_seed_averaged(
+            args, "learning", params,
+            f"white-space learning: {args.packets}-packet bursts, "
+            f"{args.step:.0f} ms step",
+        )
+    registry = telemetry.MetricsRegistry() if args.metrics_out else None
+    wall_start = time.perf_counter()
+    result = run_experiment("learning", seed=args.seed, telemetry=registry, **params)
+    wall_time = time.perf_counter() - wall_start
     _print(
         f"white-space learning: {args.packets}-packet bursts, {args.step:.0f} ms step",
         [
@@ -507,10 +572,37 @@ def cmd_learning(args: argparse.Namespace) -> int:
     )
     trajectory = ", ".join(f"{g * 1e3:.0f}" for g in result.trajectory[:20])
     print(f"trajectory (ms): {trajectory}")
+    if registry is not None:
+        _emit_telemetry(
+            args, "learning", registry=registry, config=params,
+            seeds=(args.seed,), wall_time=wall_time,
+            headline=_result_metrics(result),
+        )
     return 0
 
 
 def cmd_cti(args: argparse.Namespace) -> int:
+    if args.seeds > 1:
+        engine = _make_engine(args)
+        seeds = _seed_range(args)
+        cti_run = engine.run_trials("cti", [{"n_traces": args.traces}], seeds=seeds)
+        dev_run = engine.run_trials(
+            "device-id", [{"n_traces": args.traces}], seeds=seeds
+        )
+        _print(
+            f"CTI detection (mean over {args.seeds} seeds)",
+            [
+                ["wifi detection accuracy (paper 0.9639)",
+                 _mean([r.wifi_detection_accuracy for r in cti_run.results])],
+                ["multiclass accuracy",
+                 _mean([r.multiclass_accuracy for r in cti_run.results])],
+                ["device identification (paper 0.8976)",
+                 _mean([r.accuracy for r in dev_run.results])],
+            ],
+        )
+        print(_sweep_stats_line(cti_run))
+        print(_sweep_stats_line(dev_run))
+        return 0
     cti = run_experiment("cti", seed=args.seed, n_traces=args.traces)
     device = run_experiment("device-id", seed=args.seed, n_traces=args.traces)
     _print(
@@ -525,6 +617,14 @@ def cmd_cti(args: argparse.Namespace) -> int:
 
 
 def cmd_priority(args: argparse.Namespace) -> int:
+    if args.seeds > 1:
+        return _run_seed_averaged(
+            args, "priority",
+            {"scheme": args.scheme, "high_proportion": args.proportion,
+             "total_duration": args.duration},
+            f"priority traffic: {args.scheme}, "
+            f"high-priority share {args.proportion}",
+        )
     result = run_experiment(
         "priority",
         seed=args.seed,
@@ -546,6 +646,11 @@ def cmd_priority(args: argparse.Namespace) -> int:
 
 
 def cmd_energy(args: argparse.Namespace) -> int:
+    if args.seeds > 1:
+        return _run_seed_averaged(
+            args, "energy", {"n_bursts": args.bursts},
+            "energy overhead (paper: 10-21%)",
+        )
     result = run_experiment("energy", seed=args.seed, n_bursts=args.bursts)
     _print(
         "energy overhead (paper: 10-21%)",
@@ -560,6 +665,12 @@ def cmd_energy(args: argparse.Namespace) -> int:
 
 
 def cmd_ble(args: argparse.Namespace) -> int:
+    if args.seeds > 1:
+        return _run_seed_averaged(
+            args, "ble",
+            {"afh_enabled": args.afh, "duration": args.duration},
+            f"ZigBee/BLE coexistence (AFH {'on' if args.afh else 'off'})",
+        )
     result = run_experiment(
         "ble", seed=args.seed, afh_enabled=args.afh, duration=args.duration
     )
@@ -726,49 +837,189 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .experiments.campaign import (
+        CampaignError,
+        CampaignRunner,
+        CampaignSpec,
+        comparison_table,
+    )
+
+    runner = CampaignRunner(
+        args.dir,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cache=not args.no_cache,
+        quiet=args.quiet,
+    )
+
+    if args.action == "status":
+        try:
+            status = runner.status()
+            still_cached, journaled = runner.verify_cache()
+        except CampaignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        rows = [
+            ["trials", float(status.total)],
+            ["done", float(status.done)],
+            ["remaining", float(status.remaining)],
+            ["cache hits (journaled)", float(status.cached_hits)],
+            ["still cached", float(still_cached)],
+            ["shards", float(status.shards)],
+        ]
+        _print(f"campaign: {status.name} [{status.fingerprint[:12]}]", rows)
+        shard_rows = [
+            [f"shard {shard}", float(done)]
+            for shard, done in sorted(status.per_shard.items())
+        ]
+        _print("per-shard progress", shard_rows, headers=("shard", "done"))
+        if journaled and still_cached < journaled:
+            print(
+                f"warning: {journaled - still_cached} journaled trial(s) no "
+                "longer cached; a resume would recompute them"
+            )
+        return 0
+
+    if args.action == "report":
+        try:
+            summaries = runner.report(batch=args.batch)
+        except CampaignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        spec = runner.load_spec()
+        kind = "batch means" if args.batch else "per-trial"
+        print(f"campaign report: {spec.name} "
+              f"(by {spec.compare_by}, {kind}, mean +- 95% CI)")
+        print(comparison_table(summaries))
+        return 0
+
+    # run / resume
+    spec = None
+    if args.action == "run":
+        grid: Dict[str, List[Any]] = {}
+        scenario_grid: Dict[str, List[Any]] = {}
+        base: Dict[str, Any] = {}
+        try:
+            for option in args.param or []:
+                for key, values in _parse_param(option).items():
+                    grid[key] = _expand_range_values(values)
+            for option in args.scenario_param or []:
+                for key, values in _parse_param(option).items():
+                    scenario_grid[key] = _expand_range_values(values)
+        except argparse.ArgumentTypeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for option in args.base or []:
+            if "=" not in option:
+                print(f"error: --base expects KEY=VALUE, got {option!r}",
+                      file=sys.stderr)
+                return 2
+            key, _, value = option.partition("=")
+            base[key.strip()] = _parse_scalar(value)
+        try:
+            spec = CampaignSpec(
+                name=args.name,
+                experiment=args.experiment,
+                grid=grid,
+                base=base,
+                scenario_grid=scenario_grid,
+                seeds=tuple(_seed_range(args)),
+                shards=args.shards,
+                compare_by=args.compare_by,
+            )
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+
+    def progress(trial, record, n_done, n_total):
+        if args.quiet:
+            return
+        state = "cached " if record.cached else f"{record.elapsed:6.2f}s"
+        print(f"  [{n_done}/{n_total}] {state}  shard={trial.shard} "
+              f"seed={trial.seed} #{trial.index}")
+
+    try:
+        run = runner.run(spec, max_trials=args.max_trials, progress=progress)
+    except KeyboardInterrupt:
+        print(f"\ninterrupted — resume with: repro campaign resume "
+              f"--dir {args.dir}", file=sys.stderr)
+        return 3
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"campaign {run.spec.name}: {run.completed}/{run.total} trials done "
+        f"({run.executed} executed, {run.cached_hits} cached this run, "
+        f"{run.elapsed:.2f} s wall, jobs={args.jobs})"
+    )
+    if run.complete:
+        print(f"manifest: {runner.manifest_path}")
+        print(f"campaign report (by {run.spec.compare_by}, mean +- 95% CI)")
+        print(comparison_table(run.summaries or {}))
+    else:
+        print(f"resume with: repro campaign resume --dir {args.dir}")
+    if args.metrics_out and run.telemetry is not None:
+        _emit_telemetry(
+            args, run.spec.experiment, snapshot=run.telemetry,
+            seeds=tuple(run.spec.seeds), wall_time=run.elapsed,
+            extra={"campaign": run.spec.name},
+        )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+def _positive_int(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="BiCord reproduction scenarios"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p):
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--location", choices="ABCD", default="A")
+    # Shared flag groups, declared ONCE as argparse parent parsers so every
+    # subcommand exposes them with byte-identical names, defaults, and help.
+    seed_flags = argparse.ArgumentParser(add_help=False)
+    seed_flags.add_argument("--seed", type=int, default=0,
+                            help="base random seed")
+    seed_flags.add_argument("--seeds", type=_positive_int, default=1,
+                            metavar="N",
+                            help="run N seeds (seed..seed+N-1) and report means")
 
-    def positive_int(text):
-        value = int(text)
-        if value < 1:
-            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
-        return value
+    exec_flags = argparse.ArgumentParser(add_help=False)
+    exec_flags.add_argument("--jobs", type=_positive_int, default=1,
+                            help="worker processes (1 = serial)")
+    exec_flags.add_argument("--cache-dir", default=None,
+                            help="sweep cache directory (default: "
+                                 "$BICORD_SWEEP_CACHE or ~/.cache/bicord/sweeps)")
+    exec_flags.add_argument("--no-cache", action="store_true",
+                            help="disable the on-disk trial cache")
+    exec_flags.add_argument("--quiet", action="store_true",
+                            help="suppress progress output")
 
-    def sweep_flags(p):
-        p.add_argument("--seeds", type=positive_int, default=1, metavar="N",
-                       help="run N seeds (seed..seed+N-1) and report means")
-        p.add_argument("--jobs", type=positive_int, default=1,
-                       help="worker processes for multi-seed runs")
-        p.add_argument("--cache-dir", default=None,
-                       help="sweep cache directory (default: "
-                            "$BICORD_SWEEP_CACHE or ~/.cache/bicord/sweeps)")
-        p.add_argument("--no-cache", action="store_true",
-                       help="disable the on-disk trial cache")
-        telemetry_flags(p)
-        p.add_argument("--quiet", action="store_true",
-                       help="suppress progress output")
+    telemetry_flags = argparse.ArgumentParser(add_help=False)
+    telemetry_flags.add_argument("--metrics-out", metavar="PATH", default=None,
+                                 help="collect telemetry and write manifest + "
+                                      "metrics to PATH (.jsonl or .csv)")
+    telemetry_flags.add_argument("-v", "--verbose", action="count", default=0,
+                                 help="more logging (repeatable)")
 
-    def telemetry_flags(p):
-        p.add_argument("--metrics-out", metavar="PATH", default=None,
-                       help="collect telemetry and write manifest + metrics "
-                            "to PATH (.jsonl or .csv)")
-        p.add_argument("-v", "--verbose", action="count", default=0,
-                       help="more logging (repeatable)")
+    shared = [seed_flags, exec_flags, telemetry_flags]
 
-    p = sub.add_parser("coexist", help="one coexistence run (Fig. 10/11 style)")
-    common(p)
-    sweep_flags(p)
+    location_flags = argparse.ArgumentParser(add_help=False)
+    location_flags.add_argument("--location", choices="ABCD", default="A")
+
+    p = sub.add_parser("coexist", parents=shared + [location_flags],
+                       help="one coexistence run (Fig. 10/11 style)")
     p.add_argument("--scheme",
                    choices=("bicord", "ecc", "csma", "predictive", "slow-ctc"),
                    default="bicord")
@@ -797,40 +1048,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "when the scenario accepts them)")
     p.set_defaults(func=cmd_coexist)
 
-    p = sub.add_parser("signaling", help="precision/recall trial (Tables I-II)")
-    common(p)
-    sweep_flags(p)
+    p = sub.add_parser("signaling", parents=shared + [location_flags],
+                       help="precision/recall trial (Tables I-II)")
     p.add_argument("--power", type=float, default=0.0)
     p.add_argument("--packets", type=int, default=4)
     p.add_argument("--salvos", type=int, default=100)
     p.set_defaults(func=cmd_signaling)
 
-    p = sub.add_parser("learning", help="white-space learning (Figs. 7-9)")
-    common(p)
+    p = sub.add_parser("learning", parents=shared + [location_flags],
+                       help="white-space learning (Figs. 7-9)")
     p.add_argument("--packets", type=int, default=10)
     p.add_argument("--step", type=float, default=30.0, help="initial step in ms")
     p.add_argument("--bursts", type=int, default=14)
     p.set_defaults(func=cmd_learning)
 
-    p = sub.add_parser("cti", help="CTI detection accuracy (Sec. VII-A)")
-    p.add_argument("--seed", type=int, default=0)
+    p = sub.add_parser("cti", parents=shared,
+                       help="CTI detection accuracy (Sec. VII-A)")
     p.add_argument("--traces", type=int, default=60)
     p.set_defaults(func=cmd_cti)
 
-    p = sub.add_parser("priority", help="prioritized Wi-Fi traffic (Fig. 13)")
-    p.add_argument("--seed", type=int, default=0)
+    p = sub.add_parser("priority", parents=shared,
+                       help="prioritized Wi-Fi traffic (Fig. 13)")
     p.add_argument("--scheme", choices=("bicord", "ecc"), default="bicord")
     p.add_argument("--proportion", type=float, default=0.3)
     p.add_argument("--duration", type=float, default=6.0)
     p.set_defaults(func=cmd_priority)
 
-    p = sub.add_parser("energy", help="energy overhead (Sec. VII-B)")
-    p.add_argument("--seed", type=int, default=0)
+    p = sub.add_parser("energy", parents=shared,
+                       help="energy overhead (Sec. VII-B)")
     p.add_argument("--bursts", type=int, default=8)
     p.set_defaults(func=cmd_energy)
 
-    p = sub.add_parser("ble", help="ZigBee/BLE extension (Sec. VII-D)")
-    p.add_argument("--seed", type=int, default=0)
+    p = sub.add_parser("ble", parents=shared,
+                       help="ZigBee/BLE extension (Sec. VII-D)")
     p.add_argument("--duration", type=float, default=10.0)
     p.add_argument("--afh", dest="afh", action="store_true", default=True)
     p.add_argument("--no-afh", dest="afh", action="store_false")
@@ -838,13 +1088,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "robustness",
+        parents=shared + [location_flags],
         help="PRR/latency degradation under injected coordination faults",
         description="Sweep one fault dimension over a grid of rates and "
                     "report the degradation curve (rate 0 = fault-free "
                     "control point).",
     )
-    common(p)
-    sweep_flags(p)
     p.add_argument("--dimension",
                    choices=("detection", "control", "cts", "timers", "all"),
                    default="all")
@@ -861,6 +1110,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "sweep",
+        parents=shared,
         help="parallel parameter sweep over any registered experiment",
         description="Fan a parameter grid out across worker processes; "
                     "finished trials are cached on disk and never re-run.",
@@ -869,24 +1119,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"one of: {', '.join(experiment_names())}")
     p.add_argument("--param", action="append", metavar="KEY=V1[,V2...]",
                    help="grid axis (repeatable); single values pin a parameter")
-    p.add_argument("--seed", type=int, default=0, help="first seed")
-    p.add_argument("--seeds", type=positive_int, default=1, metavar="N",
-                   help="seeds per grid point (seed..seed+N-1)")
-    p.add_argument("--jobs", type=positive_int, default=1,
-                   help="worker processes (1 = serial)")
-    p.add_argument("--cache-dir", default=None,
-                   help="sweep cache directory (default: "
-                        "$BICORD_SWEEP_CACHE or ~/.cache/bicord/sweeps)")
-    p.add_argument("--no-cache", action="store_true",
-                   help="disable the on-disk trial cache")
     p.add_argument("--clear-cache", action="store_true",
                    help="delete all cached trial results first")
-    p.add_argument("--quiet", action="store_true",
-                   help="suppress per-trial progress lines")
     p.add_argument("--list", action="store_true",
                    help="list registered experiments and their parameters")
-    telemetry_flags(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        parents=shared,
+        help="sharded, journaled, resumable experiment campaign",
+        description="Expand a campaign grid into trials, fan them across "
+                    "a work-stealing pool, and journal each completion. A "
+                    "killed campaign resumes with zero recomputation "
+                    "(results are served from the trial cache); `report` "
+                    "prints per-scheme means with 95% confidence intervals.",
+    )
+    p.add_argument("action", choices=("run", "resume", "status", "report"))
+    p.add_argument("--dir", default="campaign",
+                   help="campaign directory (spec + journal + manifest)")
+    p.add_argument("--name", default="campaign",
+                   help="campaign name (recorded in spec + manifest)")
+    p.add_argument("--experiment", default="scenario",
+                   help=f"one of: {', '.join(experiment_names())}")
+    p.add_argument("--param", action="append", metavar="KEY=V1[,V2...]",
+                   help="experiment grid axis (repeatable); integer ranges "
+                        "expand as A:B (half-open)")
+    p.add_argument("--scenario-param", action="append",
+                   metavar="KEY=V1[,V2...]",
+                   help="scenario factory grid axis (scenario experiment "
+                        "only); A:B expands to an integer range — e.g. "
+                        "placement_seed=0:100")
+    p.add_argument("--base", action="append", metavar="KEY=VALUE",
+                   help="fixed experiment parameter (repeatable)")
+    p.add_argument("--shards", type=_positive_int, default=1,
+                   help="logical shard count (telemetry/manifest grouping)")
+    p.add_argument("--compare-by", default="scheme",
+                   help="parameter the report groups by (default: scheme)")
+    p.add_argument("--max-trials", type=_positive_int, default=None,
+                   help="cap the trials executed this invocation "
+                        "(campaign stays resumable)")
+    p.add_argument("--batch", action="store_true",
+                   help="report batch-means CIs (average seeds per "
+                        "combination first)")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
         "list", help="list registered experiments and library scenarios"
@@ -895,6 +1171,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "scenario",
+        parents=shared,
         help="list, describe, or run library scenarios (repro.scenarios)",
         description="Library scenarios are declarative ScenarioSpecs; "
                     "`run` compiles one with a seed and reports its metrics, "
@@ -903,8 +1180,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=("list", "describe", "run"))
     p.add_argument("name", nargs="?", default=None,
                    help="scenario name (see `scenario list`)")
-    p.add_argument("--seed", type=int, default=0)
-    sweep_flags(p)
     p.add_argument("--set", action="append", metavar="KEY=VALUE",
                    help="scenario factory parameter override (repeatable)")
     p.add_argument("--duration", type=float, default=None,

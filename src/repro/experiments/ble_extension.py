@@ -23,6 +23,7 @@ from ..mac.ble import BleConnection
 from ..phy.propagation import Position
 from ..traffic.generators import ZigbeeBurstSource
 from .compat import effective_seed, fold_legacy_kwargs
+from .result import ResultBase
 from .topology import Calibration
 
 
@@ -37,7 +38,7 @@ class BleTrialConfig:
 
 
 @dataclass
-class BleCoexistenceResult:
+class BleCoexistenceResult(ResultBase):
     afh_enabled: bool
     duration: float
     ble_events: int
@@ -48,6 +49,7 @@ class BleCoexistenceResult:
     zigbee_delivered: int
     zigbee_offered: int
     zigbee_mean_delay: float
+    seed: int = -1
 
     @property
     def zigbee_delivery_ratio(self) -> float:
@@ -122,4 +124,5 @@ def run_ble_coexistence(
         zigbee_delivered=node.packets_delivered,
         zigbee_offered=source.bursts_generated * 8,
         zigbee_mean_delay=(sum(node_delays) / len(node_delays)) if node_delays else 0.0,
+        seed=seed,
     )

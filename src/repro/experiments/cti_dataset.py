@@ -33,6 +33,7 @@ from ..phy.rssi import RssiTrace
 from ..sim.process import Process
 from ..traffic.generators import WifiPacketSource
 from .compat import effective_seed, fold_legacy_kwargs
+from .result import ResultBase
 from .topology import Calibration
 
 TRACE_DURATION = 5e-3
@@ -162,11 +163,12 @@ class CtiTrialConfig:
 
 
 @dataclass
-class CtiAccuracyResult:
+class CtiAccuracyResult(ResultBase):
     wifi_detection_accuracy: float  # paper: 96.39 %
     multiclass_accuracy: float
     n_train: int
     n_test: int
+    seed: int = -1
 
 
 def run_cti_accuracy(
@@ -193,6 +195,7 @@ def run_cti_accuracy(
         multiclass_accuracy=classifier.accuracy(test_f, test_y),
         n_train=len(train_f),
         n_test=len(test_f),
+        seed=seed,
     )
 
 
@@ -205,10 +208,11 @@ class DeviceIdTrialConfig:
 
 
 @dataclass
-class DeviceIdResult:
+class DeviceIdResult(ResultBase):
     accuracy: float  # paper: 89.76 % +- 2.14
     n_devices: int
     n_traces: int
+    seed: int = -1
 
 
 def run_device_identification(
@@ -238,5 +242,6 @@ def run_device_identification(
     labels = identifier.fit(fingerprints)
     accuracy = clustering_accuracy(labels, np.asarray(truth))
     return DeviceIdResult(
-        accuracy=accuracy, n_devices=len(cfg.distances), n_traces=len(fingerprints)
+        accuracy=accuracy, n_devices=len(cfg.distances),
+        n_traces=len(fingerprints), seed=seed,
     )

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..devices.base import Radio
+from .result import ResultBase
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -87,7 +88,7 @@ class UtilizationSnapshot:
 
 
 @dataclass
-class CoexistenceResult:
+class CoexistenceResult(ResultBase):
     """Everything a Fig. 10/11/12/13-style run reports."""
 
     scheme: str
@@ -107,6 +108,7 @@ class CoexistenceResult:
     wifi_delays_high_priority: List[float] = field(default_factory=list)
     wifi_packets_delivered: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+    seed: int = -1
 
     # ------------------------------------------------------------------
     @property

@@ -56,6 +56,7 @@ from .runner import (
     run_signaling_trial,
 )
 from .metrics import CoexistenceResult
+from .result import check_result_contract
 from .robustness import RobustnessResult, RobustnessTrialConfig, run_robustness_trial
 from .scenario import ScenarioResult, ScenarioTrialConfig, run_scenario_trial
 from .topology import Calibration
@@ -119,7 +120,13 @@ _ALIASES: Dict[str, str] = {}
 
 
 def register(spec: ExperimentSpec) -> ExperimentSpec:
-    """Add a spec to the registry (also wiring its aliases)."""
+    """Add a spec to the registry (also wiring its aliases).
+
+    Every registered result class must satisfy the
+    :data:`~repro.experiments.result.RESULT_CONTRACT` — the sweep cache,
+    the campaign runner, and ``repro.api`` all rely on it.
+    """
+    check_result_contract(spec.result_cls)
     EXPERIMENTS[spec.name] = spec
     for alias in spec.aliases:
         _ALIASES[alias] = spec.name

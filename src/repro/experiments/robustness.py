@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..faults import DIMENSIONS, FaultPlan
 from .compat import effective_seed, fold_legacy_kwargs
+from .result import ResultBase
 from .runner import SCHEMES, CoexistenceConfig, run_coexistence
 from .topology import Calibration
 
@@ -70,7 +71,7 @@ class RobustnessTrialConfig:
 
 
 @dataclass
-class RobustnessResult:
+class RobustnessResult(ResultBase):
     """Degradation metrics of one faulted run (flat, cache-friendly)."""
 
     dimension: str
@@ -89,6 +90,7 @@ class RobustnessResult:
     bursts_offered: int
     #: Flat ``fault_*`` injection counts from the trial's harness.
     fault_counters: Dict[str, float] = field(default_factory=dict)
+    seed: int = -1
 
     def summary(self) -> Dict[str, float]:
         """The numbers a degradation curve plots."""
@@ -148,6 +150,7 @@ def run_robustness_trial(
         whitespaces_issued=result.whitespaces_issued,
         bursts_offered=result.zigbee_packets_offered,
         fault_counters=counters,
+        seed=seed,
     )
 
 
@@ -183,6 +186,7 @@ def _run_scenario_robustness(
         whitespaces_issued=result.whitespaces_issued,
         bursts_offered=result.packets_offered,
         fault_counters=counters,
+        seed=seed,
     )
 
 

@@ -41,6 +41,7 @@ from ..sim.process import Process
 from ..traffic.generators import PriorityWifiSource, WifiPacketSource, ZigbeeBurstSource
 from .compat import effective_seed, fold_legacy_kwargs
 from .metrics import AirtimeProbe, CoexistenceResult, PrecisionRecall
+from .result import ResultBase
 from .topology import (
     Calibration,
     LOCATION_POWERS_DBM,
@@ -68,12 +69,22 @@ class SignalingTrialConfig:
 
 
 @dataclass
-class SignalingTrialResult:
+class SignalingTrialResult(ResultBase):
     location: str
     power_dbm: float
     n_control_packets: int
     pr: PrecisionRecall
     wifi_prr: float  # Wi-Fi packet reception ratio during the trial
+    seed: int = -1
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "precision": self.pr.precision,
+            "recall": self.pr.recall,
+            "true_positives": float(self.pr.true_positives),
+            "false_positives": float(self.pr.false_positives),
+            "wifi_prr": self.wifi_prr,
+        }
 
 
 def run_signaling_trial(
@@ -166,7 +177,7 @@ def run_signaling_trial(
     registry.counter("detector.false_wakeups").inc(fp)
     registry.record_sim(ctx.sim)
     return SignalingTrialResult(
-        cfg.location, cfg.power_dbm, cfg.n_control_packets, pr, prr
+        cfg.location, cfg.power_dbm, cfg.n_control_packets, pr, prr, seed=seed
     )
 
 
@@ -331,6 +342,7 @@ def run_coexistence(
         burst_latencies=list(node.burst_latencies),
         control_packets=getattr(node, "control_packets_sent", 0),
         wifi_packets_delivered=office.wifi_sender.mac.data_delivered,
+        seed=config.seed,
     )
     if coordinator is not None:
         result.whitespace_airtime = coordinator.whitespace_airtime
@@ -377,7 +389,7 @@ class LearningTrialConfig:
 
 
 @dataclass
-class LearningTrialResult:
+class LearningTrialResult(ResultBase):
     n_packets: int
     step: float
     location: str
@@ -386,6 +398,15 @@ class LearningTrialResult:
     final_whitespace: float
     trajectory: List[float]  # granted lengths over time (Fig. 7 series)
     burst_airtime: float  # data airtime one burst actually needs
+    seed: int = -1
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "iterations": float(self.iterations),
+            "converged": float(self.converged),
+            "final_whitespace_ms": self.final_whitespace * 1e3,
+            "burst_airtime_ms": self.burst_airtime * 1e3,
+        }
 
 
 def run_learning_trial(
@@ -437,6 +458,7 @@ def run_learning_trial(
         final_whitespace=coordinator.allocator.current_whitespace,
         trajectory=coordinator.allocator.whitespace_trajectory(),
         burst_airtime=cfg.n_packets * exchange,
+        seed=seed,
     )
 
 
@@ -455,7 +477,7 @@ class PriorityTrialConfig:
 
 
 @dataclass
-class PriorityResult:
+class PriorityResult(ResultBase):
     scheme: str
     high_proportion: float
     utilization: float
@@ -463,6 +485,7 @@ class PriorityResult:
     low_priority_wifi_delay: float
     high_priority_wifi_delay: float
     zigbee_mean_delay: float
+    seed: int = -1
 
 
 def run_priority_experiment(
@@ -530,6 +553,7 @@ def run_priority_experiment(
         low_priority_wifi_delay=float(np.mean(low)) if low else 0.0,
         high_priority_wifi_delay=float(np.mean(high)) if high else 0.0,
         zigbee_mean_delay=float(np.mean(node.packet_delays)) if node.packet_delays else 0.0,
+        seed=seed,
     )
 
 
@@ -546,11 +570,12 @@ class EnergyTrialConfig:
 
 
 @dataclass
-class EnergyResult:
+class EnergyResult(ResultBase):
     bicord_mj: float
     clear_channel_mj: float
     overhead_fraction: float
     control_packets: int
+    seed: int = -1
 
 
 def run_energy_trial(
@@ -587,4 +612,4 @@ def run_energy_trial(
     bicord_mj, control = one(with_wifi=True)
     clear_mj, _ = one(with_wifi=False)
     overhead = (bicord_mj - clear_mj) / clear_mj if clear_mj > 0 else 0.0
-    return EnergyResult(bicord_mj, clear_mj, overhead, control)
+    return EnergyResult(bicord_mj, clear_mj, overhead, control, seed=seed)

@@ -27,6 +27,7 @@ import numpy as np
 from ..serialization import from_dict
 from .compat import effective_seed
 from .metrics import UtilizationSnapshot
+from .result import ResultBase
 from .topology import Calibration
 
 
@@ -87,7 +88,7 @@ class WifiLinkResult:
 
 
 @dataclass
-class ScenarioResult:
+class ScenarioResult(ResultBase):
     """Everything one compiled-scenario run reports."""
 
     scenario: str

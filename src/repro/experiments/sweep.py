@@ -65,7 +65,8 @@ from .topology import Calibration
 #: 2: configs grew a ``faults`` block (resolved-config hashes changed).
 #: 3: entries carry an optional ``metrics`` telemetry snapshot.
 #: 4: scenario experiment added; dict-valued results coerce typed values.
-CACHE_SCHEMA = 4
+#: 5: results implement the ExperimentResult contract (seed field added).
+CACHE_SCHEMA = 5
 
 _LOG = get_logger("sweep")
 
@@ -244,6 +245,26 @@ def _execute_trial(
 ProgressCallback = Callable[[TrialRecord, int, int], None]
 
 
+def load_cached(
+    experiment: str,
+    params: Optional[Mapping[str, Any]] = None,
+    seed: int = 0,
+    calibration: Optional[Calibration] = None,
+    cache_dir: Optional[os.PathLike] = None,
+):
+    """Fetch one trial's cached result, or None if it was never run.
+
+    The read-only counterpart of a sweep: addresses the trial exactly like
+    the engine would (same key, same schema checks) without executing
+    anything.  Backs :func:`repro.api.get_result`.
+    """
+    spec = get_experiment(experiment)
+    engine = SweepEngine(cache_dir=cache_dir)
+    key = trial_key(experiment, dict(params or {}), seed, calibration)
+    hit = engine._cache_load(key, spec.result_cls)
+    return hit[0] if hit is not None else None
+
+
 class SweepEngine:
     """Runs parameter sweeps through the registry, in parallel, memoized.
 
@@ -311,11 +332,26 @@ class SweepEngine:
                 # The entry predates telemetry collection: re-execute so the
                 # trial's metric snapshot exists (and gets cached) too.
                 return None
-            result = from_dict(result_cls, data["result"])
+            # Results implementing the ExperimentResult contract own their
+            # deserialization; plain dataclasses go through serialization.
+            loader = getattr(result_cls, "from_dict", None)
+            if callable(loader):
+                result = loader(data["result"])
+            else:
+                result = from_dict(result_cls, data["result"])
             return result, float(data.get("elapsed", 0.0)), metrics
         except (OSError, ValueError, TypeError, KeyError):
             # Missing or corrupt entry: treat as a miss, never as an error.
             return None
+
+    def cache_has(self, key: str, result_cls: type) -> bool:
+        """Would ``key`` be served from the cache right now?
+
+        Applies the exact `_cache_load` acceptance rules (schema, result
+        type, telemetry completeness), so a True answer means a subsequent
+        run of that trial costs zero recomputation.
+        """
+        return self._cache_load(key, result_cls) is not None
 
     def _cache_store(
         self, key: str, experiment: str, params: Dict[str, Any],
@@ -406,10 +442,7 @@ class SweepEngine:
         This is the lower-level entry the benchmarks use when their grids
         are not cartesian (e.g. Fig. 10 scales burst counts per interval).
         """
-        spec = get_experiment(experiment)
-        jobs = self.jobs if jobs is None else max(1, int(jobs))
-        tasks: List[Tuple[int, Dict[str, Any], int, str]] = []
-        index = 0
+        pairs: List[Tuple[Mapping[str, Any], int]] = []
         for params in params_list:
             reserved = {"seed", "calibration"} & set(params)
             if reserved:
@@ -418,10 +451,29 @@ class SweepEngine:
                     "use the seeds=/calibration= arguments instead"
                 )
             for seed in seeds:
-                trial_params = dict(params)
-                key = trial_key(experiment, trial_params, seed, calibration)
-                tasks.append((index, trial_params, int(seed), key))
-                index += 1
+                pairs.append((params, int(seed)))
+        return self.run_pairs(experiment, pairs, calibration=calibration, jobs=jobs)
+
+    def run_pairs(
+        self,
+        experiment: str,
+        pairs: Sequence[Tuple[Mapping[str, Any], int]],
+        calibration: Optional[Calibration] = None,
+        jobs: Optional[int] = None,
+    ) -> SweepRun:
+        """Run an explicit ``(params, seed)`` pair list.
+
+        The lowest-level entry: the campaign runner uses it to execute
+        arbitrary trial subsets (shards, resumes, ``--max-trials`` caps)
+        that are neither cartesian nor grouped by seed.
+        """
+        spec = get_experiment(experiment)
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        tasks: List[Tuple[int, Dict[str, Any], int, str]] = []
+        for index, (params, seed) in enumerate(pairs):
+            trial_params = dict(params)
+            key = trial_key(experiment, trial_params, seed, calibration)
+            tasks.append((index, trial_params, int(seed), key))
 
         start = time.perf_counter()
         total = len(tasks)
@@ -493,6 +545,7 @@ class SweepEngine:
                                    result, elapsed, cached=False), snapshot)
         elif pending:
             workers = min(jobs, len(pending))
+            failure: Optional[BaseException] = None
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
                     pool.submit(_execute_trial, spec.name, params, seed,
@@ -505,9 +558,21 @@ class SweepEngine:
                     finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                     for future in finished:
                         idx, params, seed, key = futures[future]
-                        result, elapsed, snapshot = future.result()
+                        # Drain every finished future before propagating a
+                        # failure: trials that DID complete still get cached
+                        # and journaled, so a crashed/killed worker (e.g.
+                        # BrokenProcessPool) costs only its own trial on
+                        # resume, not its siblings'.
+                        try:
+                            result, elapsed, snapshot = future.result()
+                        except BaseException as exc:  # noqa: BLE001
+                            if failure is None:
+                                failure = exc
+                            continue
                         finish(TrialRecord(idx, spec.name, params, seed, key,
                                            result, elapsed, cached=False), snapshot)
+            if failure is not None:
+                raise failure
 
         wall = time.perf_counter() - start
         run_telemetry = None
