@@ -1,0 +1,74 @@
+"""Scale ceiling: a generator-built dense deployment on both scheduler backends.
+
+The coexistence surveys BiCord targets study deployments far denser than the
+paper's office — hundreds of Wi-Fi pairs contending with thousands of ZigBee
+links.  This benchmark compiles such a deployment from the ``grid`` generator
+and drives a fixed event budget through it on **each scheduler backend**,
+recording realtime factor and engine event throughput into the benchmark JSON
+(``BENCH_kernels.json`` when refreshed locally; see docs/reproducing.md) so
+every future PR moves a tracked number.
+
+One pedantic round per backend: the run is expensive and the quantity of
+interest (events/s at density) is stable enough that round-to-round variance
+is dominated by machine noise anyway.  ``BICORD_BENCH_SCALE`` scales the
+deployment for smoke runs.
+
+At this density the per-event cost is dominated by Medium/coordination work,
+not the scheduler — the backends should land within a few percent of each
+other here, while the scheduler-bound micro benchmark
+(``test_kernel_performance.py::test_engine_event_throughput*``) shows the
+calendar queue's full advantage.  Tracking both pins down where the next
+ceiling is.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import compile_scenario, get_scenario
+from repro.sim.engine import set_default_backend
+
+from .conftest import scaled
+
+#: Dense deployment: thousands of ZigBee links, hundreds of Wi-Fi pairs.
+N_ZIGBEE_LINKS = scaled(1000)
+N_WIFI_PAIRS = scaled(200)
+#: Event budget per measured run (per-event cost at this density is ~1 ms,
+#: so the budget bounds a round to a few seconds).
+MAX_EVENTS = scaled(3000)
+
+
+def _scale_run(backend: str):
+    previous = set_default_backend(backend)
+    try:
+        spec = get_scenario(
+            "grid",
+            n_zigbee_links=N_ZIGBEE_LINKS,
+            n_wifi_pairs=N_WIFI_PAIRS,
+        )
+        compiled = compile_scenario(spec, seed=7, trace_kinds=set())
+        assert compiled.sim.backend_name == backend
+        result = compiled.run(max_events=MAX_EVENTS)
+        return result.events_processed, compiled.sim.now
+    finally:
+        set_default_backend(previous)
+
+
+def _report(emit, backend, benchmark, events, sim_seconds):
+    wall = benchmark.stats.stats.mean
+    emit(
+        f"scale_ceiling_{backend}",
+        f"scale ceiling ({backend}): {N_ZIGBEE_LINKS} zigbee links + "
+        f"{N_WIFI_PAIRS} wifi pairs, {events} events in {wall:.2f} s wall -> "
+        f"{events / wall:.0f} events/s, realtime factor "
+        f"{sim_seconds / wall:.5f}x ({sim_seconds * 1e3:.2f} ms simulated)",
+    )
+
+
+@pytest.mark.parametrize("backend", ["heap", "calendar"])
+def test_scale_ceiling_backend(benchmark, emit, backend):
+    events, sim_seconds = benchmark.pedantic(
+        _scale_run, args=(backend,), rounds=1, iterations=1
+    )
+    assert events == MAX_EVENTS  # the deployment saturates the budget
+    _report(emit, backend, benchmark, events, sim_seconds)

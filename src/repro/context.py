@@ -52,6 +52,7 @@ def build_context(
     fading: Optional[FadingModel] = None,
     trace_kinds: Optional[Set[str]] = None,
     faults: Optional[FaultPlan] = None,
+    backend: Optional[str] = None,
 ) -> SimContext:
     """Create a fully wired :class:`SimContext`.
 
@@ -59,9 +60,12 @@ def build_context(
     always kept); pass ``None`` to store everything, or an empty set to store
     nothing.  ``faults`` is an optional :class:`~repro.faults.FaultPlan`
     whose injectors are seeded from the same stream family as everything
-    else; an inert plan leaves the context exactly fault-free.
+    else; an inert plan leaves the context exactly fault-free.  ``backend``
+    selects the scheduler backend (see
+    :data:`repro.sim.engine.SCHEDULER_BACKENDS`); ``None`` uses the
+    process-wide default set by :func:`repro.sim.engine.set_default_backend`.
     """
-    sim = Simulator()
+    sim = Simulator(backend=backend)
     streams = RandomStreams(seed=seed)
     trace = TraceRecorder(enabled_kinds=trace_kinds)
     channel = Channel(

@@ -549,6 +549,29 @@ class CampaignRunner:
         """The report as a fixed-width comparison table."""
         return comparison_table(self.report(batch=batch))
 
+    def load_report(self) -> Dict[str, Dict[str, MetricSummary]]:
+        """Read ``report.json`` back as typed :class:`MetricSummary` objects.
+
+        Inverse of the serialization in :meth:`_write_manifest`: every
+        metric payload goes through :meth:`MetricSummary.from_dict`, so
+        ``n`` comes back as an int and the statistics as floats — a
+        completed campaign's report round-trips exactly.
+        """
+        if not self.report_path.exists():
+            raise CampaignError(
+                f"campaign {self.directory} has no report.json yet "
+                "(reports are written when a run completes)"
+            )
+        with open(self.report_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return {
+            group: {
+                name: MetricSummary.from_dict(summary)
+                for name, summary in metrics.items()
+            }
+            for group, metrics in payload.items()
+        }
+
     # -- manifest -------------------------------------------------------
     def _write_manifest(
         self, spec: CampaignSpec, trials: Sequence[CampaignTrial],

@@ -26,12 +26,24 @@ from ..serialization import stable_hash
 #: Confidence level all summaries report.
 CONFIDENCE = 0.95
 
+#: Two-sided 95% Student t critical values for df = 1..30 (index df-1).
+#: Small campaigns (3-5 seeds) land here, where the normal quantile 1.96
+#: understates the interval badly: df=4 needs 2.776, a 42% wider CI.
+_T95_TABLE = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
 
 def t_critical(df: int, confidence: float = CONFIDENCE) -> float:
     """Two-sided Student t critical value for ``df`` degrees of freedom.
 
-    Uses scipy when present; otherwise falls back to the normal-quantile
-    1.96 (exact enough for the df >= 30 campaigns the fallback serves).
+    Uses scipy when present.  Without scipy, 95% requests with df <= 30 are
+    served from a hardcoded t-table and everything else falls back to the
+    normal quantile — adequate for df > 30, where t is within 2% of normal.
+    (The old fallback returned z=1.96 for *all* df, understating
+    small-sample CIs: df=4 needs 2.776.)
     """
     if df <= 0:
         return float("nan")
@@ -40,7 +52,11 @@ def t_critical(df: int, confidence: float = CONFIDENCE) -> float:
 
         return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df))
     except ImportError:
-        return 1.959963984540054
+        if abs(confidence - 0.95) < 1e-12 and df <= len(_T95_TABLE):
+            return _T95_TABLE[df - 1]
+        import statistics
+
+        return statistics.NormalDist().inv_cdf(0.5 + confidence / 2.0)
 
 
 @dataclass(frozen=True)
@@ -61,7 +77,13 @@ class MetricSummary:
     def hi(self) -> float:
         return self.mean + self.ci95
 
-    def to_dict(self) -> Dict[str, float]:
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON payload: ``n`` stays an int, the rest are floats.
+
+        (The return type used to be declared ``Dict[str, float]`` while
+        ``n`` was an int — round-trip through :meth:`from_dict` to get the
+        fields back typed.)
+        """
         return {
             "n": self.n,
             "mean": self.mean,
@@ -71,6 +93,22 @@ class MetricSummary:
             "lo": self.lo,
             "hi": self.hi,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MetricSummary":
+        """Rebuild a summary from a :meth:`to_dict` payload (e.g. report.json).
+
+        ``n`` is coerced back to int and the statistics to float, so a
+        JSON round-trip reproduces the original object exactly; the derived
+        ``lo``/``hi`` keys are ignored.
+        """
+        return cls(
+            n=int(payload["n"]),
+            mean=float(payload["mean"]),
+            std=float(payload["std"]),
+            stderr=float(payload["stderr"]),
+            ci95=float(payload["ci95"]),
+        )
 
 
 def summarize(values: Sequence[float]) -> MetricSummary:

@@ -1,6 +1,13 @@
 """Discrete-event simulation kernel: engine, RNG streams, tracing, units."""
 
-from .engine import Event, SimulationError, Simulator
+from .engine import (
+    SCHEDULER_BACKENDS,
+    Event,
+    SimulationError,
+    Simulator,
+    resolve_backend,
+    set_default_backend,
+)
 from .process import Process
 from .rng import RandomStreams
 from .trace import TraceRecord, TraceRecorder
@@ -18,9 +25,12 @@ from .units import (
 )
 
 __all__ = [
+    "SCHEDULER_BACKENDS",
     "Event",
     "SimulationError",
     "Simulator",
+    "resolve_backend",
+    "set_default_backend",
     "Process",
     "RandomStreams",
     "TraceRecord",

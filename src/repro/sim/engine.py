@@ -8,7 +8,24 @@ properties matter for reproducibility:
   sequence number), so a run is a pure function of the seed.
 * **O(1) cancellation** — MAC layers constantly re-plan backoff completions
   when the medium state changes; cancelled events are flagged and skipped when
-  they surface rather than being removed from the heap.
+  they surface rather than being removed from the structure eagerly.  A
+  threshold-triggered compaction rebuilds the queue when cancelled entries
+  outnumber pending ones, so cancel-heavy workloads cannot grow the queue
+  without bound.
+
+Two scheduler backends share this contract (and are proven bitwise-identical
+by ``tests/test_scheduler_equivalence.py``):
+
+* ``"heap"`` — the binary-heap implementation in this module.  It is the
+  readable oracle: every other backend must reproduce its firing order,
+  ``events_processed``, and trace digests exactly.
+* ``"calendar"`` — an array-based calendar queue (bucketed time wheel with an
+  overflow list) in :mod:`repro.sim.calendar`, with batched per-bucket
+  dispatch.  It is the throughput backend for dense scenarios.
+
+Select a backend per instance (``Simulator(backend="calendar")``) or flip the
+process-wide default with :func:`set_default_backend`, mirroring
+``repro.phy.rssi.set_default_capture_mode``.
 """
 
 from __future__ import annotations
@@ -16,7 +33,54 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Scheduler backends selectable via ``Simulator(backend=...)``.
+SCHEDULER_BACKENDS = ("heap", "calendar")
+
+#: Compaction never triggers below this many cancelled-but-queued entries, so
+#: small simulations never pay a rebuild.
+COMPACT_MIN_CANCELLED = 64
+
+_BACKEND_CLASSES: Dict[str, type] = {}
+
+#: Backend used when ``Simulator()`` is constructed without an explicit
+#: ``backend=``.  The calendar queue is the default (it is proven bitwise
+#: identical to the heap oracle by ``tests/test_scheduler_equivalence.py``);
+#: pass ``backend="heap"`` or call :func:`set_default_backend` to switch.
+DEFAULT_BACKEND = "calendar"
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the scheduler backend new :class:`Simulator` instances use.
+
+    Returns the previous default so callers can restore it (mirrors
+    ``set_default_capture_mode``).  Raises ``ValueError`` for unknown names.
+    """
+    global DEFAULT_BACKEND
+    resolve_backend(backend)  # validate
+    previous = DEFAULT_BACKEND
+    DEFAULT_BACKEND = backend
+    return previous
+
+
+def resolve_backend(backend: str) -> type:
+    """Map a backend name to its :class:`Simulator` subclass."""
+    impl = _BACKEND_CLASSES.get(backend)
+    if impl is None and backend == "calendar":
+        from . import calendar as _calendar  # noqa: F401  (registers itself)
+
+        impl = _BACKEND_CLASSES.get(backend)
+    if impl is None:
+        raise ValueError(
+            f"unknown scheduler backend {backend!r}; expected one of "
+            f"{SCHEDULER_BACKENDS}"
+        )
+    return impl
+
+
+def register_backend(name: str, impl: type) -> None:
+    _BACKEND_CLASSES[name] = impl
 
 
 class SimulationError(RuntimeError):
@@ -32,19 +96,37 @@ class Event:
     to the event's time.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Cancelling a fired event is a no-op."""
+        """Prevent the event from firing.  Cancelling a fired event is a no-op.
+
+        The owning simulator is notified so its live pending counter stays
+        exact and compaction can trigger; a detached event (``sim=None``)
+        just flips the flag.
+        """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancel()
 
     @property
     def pending(self) -> bool:
@@ -58,26 +140,49 @@ class Event:
 
 
 class Simulator:
-    """Deterministic discrete-event simulator.
+    """Deterministic discrete-event simulator (binary-heap backend).
 
     Typical use::
 
-        sim = Simulator()
+        sim = Simulator()                      # default backend
+        sim = Simulator(backend="calendar")    # explicit backend
         sim.schedule(1.5, my_callback, arg1, arg2)
         sim.run(until=10.0)
 
     The clock (:attr:`now`) only moves inside :meth:`run` / :meth:`step`.
+    This class is also the **oracle** implementation: alternative backends
+    (see :data:`SCHEDULER_BACKENDS`) must match its behavior bit for bit.
     """
 
-    def __init__(self) -> None:
+    #: Name this implementation registers under.
+    backend_name = "heap"
+
+    def __new__(cls, backend: Optional[str] = None, **kwargs: Any) -> "Simulator":
+        # Extra kwargs (e.g. CalendarSimulator's wheel geometry) are consumed
+        # by the subclass __init__; __new__ only routes on the backend name.
+        if cls is Simulator:
+            impl = resolve_backend(backend or DEFAULT_BACKEND)
+            if impl is not cls:
+                return impl.__new__(impl, backend, **kwargs)
+        return super().__new__(cls)
+
+    def __init__(self, backend: Optional[str] = None) -> None:
         self.now: float = 0.0
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self.events_processed: int = 0
-        #: Deepest the queue ever got (includes cancelled-but-unpopped events).
+        #: Live count of scheduled-and-not-yet-fired/cancelled events.
+        self._pending = 0
+        #: Cancelled events still sitting in the queue (lazy cancellation).
+        self._cancelled_in_queue = 0
+        #: Highest the *pending* count ever got.  Cancelled-but-unpopped
+        #: entries are excluded, so this is real queue depth, not the
+        #: lazy-cancellation artifact the old gauge reported.
         self.queue_hwm: int = 0
+        #: Number of threshold-triggered queue compactions performed.
+        self.compactions: int = 0
         #: Cumulative wall-clock seconds spent inside :meth:`run` — profiling
         #: only; the simulation itself never reads it.
         self.wall_time: float = 0.0
@@ -91,11 +196,12 @@ class Simulator:
             raise SimulationError(f"cannot schedule {delay} s in the past")
         # Body of :meth:`schedule_at`, inlined: this is the hottest call in
         # the engine and the delegation showed up in scenario profiles.
-        event = Event(self.now + delay, next(self._seq), callback, args)
-        queue = self._queue
-        heapq.heappush(queue, (event.time, event.seq, event))
-        if len(queue) > self.queue_hwm:
-            self.queue_hwm = len(queue)
+        event = Event(self.now + delay, next(self._seq), callback, args, self)
+        heapq.heappush(self._queue, (event.time, event.seq, event))
+        pending = self._pending + 1
+        self._pending = pending
+        if pending > self.queue_hwm:
+            self.queue_hwm = pending
         return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
@@ -105,30 +211,72 @@ class Simulator:
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
         # ``args`` is already a fresh tuple from the *args packing — no copy.
-        event = Event(time, next(self._seq), callback, args)
-        queue = self._queue
-        heapq.heappush(queue, (time, event.seq, event))
-        if len(queue) > self.queue_hwm:
-            self.queue_hwm = len(queue)
+        event = Event(time, next(self._seq), callback, args, self)
+        heapq.heappush(self._queue, (time, event.seq, event))
+        pending = self._pending + 1
+        self._pending = pending
+        if pending > self.queue_hwm:
+            self.queue_hwm = pending
         return event
+
+    # ------------------------------------------------------------------
+    # Cancellation accounting
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` exactly once per live cancel."""
+        self._pending -= 1
+        cancelled = self._cancelled_in_queue + 1
+        self._cancelled_in_queue = cancelled
+        if cancelled > COMPACT_MIN_CANCELLED and cancelled > self._pending:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (in place, preserving order).
+
+        Triggered when cancelled entries outnumber pending ones, which bounds
+        the queue at roughly twice the pending count under cancel-heavy MAC
+        backoff re-planning instead of growing without bound.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[2].cancelled]
+        heapq.heapify(queue)
+        self._cancelled_in_queue = 0
+        self.compactions += 1
+
+    def _prune_cancelled_head(self) -> Optional[Tuple[float, int, Event]]:
+        """Pop cancelled events off the head; return the pending head entry.
+
+        This is the single source of truth for "what fires next":
+        :meth:`peek`, :meth:`run` and :meth:`step` all consult it, so they
+        always agree.  Note it *mutates* the queue (cancelled heads are
+        discarded), which is what makes the follow-up pop O(log n) rather
+        than a rescan.
+        """
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if not head[2].cancelled:
+                return head
+            heapq.heappop(queue)
+            self._cancelled_in_queue -= 1
+        return None
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Returns False when the queue is empty."""
-        queue = self._queue
-        pop = heapq.heappop
-        while queue:
-            time, _seq, event = pop(queue)
-            if event.cancelled:
-                continue
-            self.now = time
-            event.fired = True
-            self.events_processed += 1
-            event.callback(*event.args)
-            return True
-        return False
+        head = self._prune_cancelled_head()
+        if head is None:
+            return False
+        heapq.heappop(self._queue)
+        event = head[2]
+        self.now = head[0]
+        event.fired = True
+        self._pending -= 1
+        self.events_processed += 1
+        event.callback(*event.args)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
@@ -142,18 +290,26 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        queue = self._queue
+        pop = heapq.heappop
         wall_start = time.perf_counter()
         try:
             while not self._stopped:
                 if max_events is not None and fired >= max_events:
                     break
-                if not self._queue:
+                head = self._prune_cancelled_head()
+                if head is None:
                     break
-                next_time = self._queue[0][0]
-                if until is not None and next_time > until:
+                if until is not None and head[0] > until:
                     break
-                if self.step():
-                    fired += 1
+                pop(queue)
+                event = head[2]
+                self.now = head[0]
+                event.fired = True
+                self._pending -= 1
+                self.events_processed += 1
+                fired += 1
+                event.callback(*event.args)
             if until is not None and self.now < until and not self._stopped:
                 self.now = until
         finally:
@@ -165,11 +321,26 @@ class Simulator:
         self._stopped = True
 
     def peek(self) -> Optional[float]:
-        """Time of the next pending event, or None if the queue is empty."""
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0][0] if self._queue else None
+        """Time of the next *pending* event, or None if the queue is empty.
+
+        Like :meth:`run` and :meth:`step` this goes through
+        :meth:`_prune_cancelled_head`, so cancelled heads are popped (the
+        queue is mutated) and all three views of "next event" agree.
+        """
+        head = self._prune_cancelled_head()
+        return head[0] if head is not None else None
 
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events in the queue (O(n); debugging)."""
-        return sum(1 for _t, _s, e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1), live counter)."""
+        return self._pending
+
+    def queue_length(self) -> int:
+        """Physical queue length, cancelled entries included.
+
+        ``queue_length() - pending_count()`` is the lazy-cancellation debt;
+        compaction keeps it bounded (see :meth:`_compact`).
+        """
+        return len(self._queue)
+
+
+register_backend("heap", Simulator)

@@ -164,10 +164,18 @@ class MetricsRegistry:
 
         Event and queue statistics are deterministic; the wall-clock time
         the event loop consumed goes into the span section (profiling).
+        ``sim.queue_hwm`` is the *pending* high-water mark — cancelled
+        events awaiting lazy removal are excluded, so the gauge reports
+        real queue depth rather than the lazy-cancellation artifact it
+        used to include.  ``sim.compactions`` counts threshold-triggered
+        rebuilds that evicted cancelled entries.
         """
         self.counter("sim.events_executed").inc(sim.events_processed)
         self.gauge("sim.queue_hwm").set_max(sim.queue_hwm)
         self.gauge("sim.time_s").set_max(sim.now)
+        compactions = getattr(sim, "compactions", 0)
+        if compactions:
+            self.counter("sim.queue_compactions").inc(compactions)
         if sim.wall_time > 0.0:
             self.observe_span("sim.run", sim.wall_time)
 

@@ -192,6 +192,21 @@ def test_campaign_runs_to_completion_and_reports(tmp_path):
     report = json.loads((tmp_path / "camp" / "report.json").read_text())
     assert set(report) == {"3", "4"}
     assert report["3"]["iterations"]["n"] == 2
+    # Typed round-trip: report.json loads back as MetricSummary objects
+    # that equal the in-memory summaries (n as int, statistics as float).
+    loaded = runner.load_report()
+    assert set(loaded) == {"3", "4"}
+    for group, metrics in loaded.items():
+        for name, summary in metrics.items():
+            assert isinstance(summary.n, int)
+            assert summary == run.summaries[int(group)][name]
+
+
+def test_load_report_before_completion_raises(tmp_path):
+    runner = CampaignRunner(tmp_path / "camp", quiet=True)
+    runner.save_spec(fast_spec())
+    with pytest.raises(CampaignError, match="no report.json"):
+        runner.load_report()
 
 
 def test_campaign_resume_skips_journaled_trials(tmp_path):

@@ -1,12 +1,21 @@
-"""Tests for the discrete-event engine."""
+"""Tests for the discrete-event engine.
+
+Every behavioral test runs against both scheduler backends (the heap oracle
+and the calendar queue) via the parametrized ``sim`` fixture — the two must
+be indistinguishable through the public API.
+"""
 
 import pytest
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import SCHEDULER_BACKENDS, SimulationError, Simulator
 
 
-def test_events_fire_in_time_order():
-    sim = Simulator()
+@pytest.fixture(params=SCHEDULER_BACKENDS)
+def sim(request):
+    return Simulator(backend=request.param)
+
+
+def test_events_fire_in_time_order(sim):
     order = []
     sim.schedule(2.0, order.append, "b")
     sim.schedule(1.0, order.append, "a")
@@ -15,8 +24,7 @@ def test_events_fire_in_time_order():
     assert order == ["a", "b", "c"]
 
 
-def test_same_time_events_fire_fifo():
-    sim = Simulator()
+def test_same_time_events_fire_fifo(sim):
     order = []
     for tag in ["first", "second", "third"]:
         sim.schedule(1.0, order.append, tag)
@@ -24,8 +32,7 @@ def test_same_time_events_fire_fifo():
     assert order == ["first", "second", "third"]
 
 
-def test_clock_advances_to_event_time():
-    sim = Simulator()
+def test_clock_advances_to_event_time(sim):
     seen = []
     sim.schedule(1.5, lambda: seen.append(sim.now))
     sim.run()
@@ -33,8 +40,7 @@ def test_clock_advances_to_event_time():
     assert sim.now == 1.5
 
 
-def test_run_until_stops_before_later_events():
-    sim = Simulator()
+def test_run_until_stops_before_later_events(sim):
     fired = []
     sim.schedule(1.0, fired.append, 1)
     sim.schedule(5.0, fired.append, 5)
@@ -43,15 +49,13 @@ def test_run_until_stops_before_later_events():
     assert sim.now == 2.0  # clock parked exactly at the horizon
 
 
-def test_run_until_past_queue_parks_clock():
-    sim = Simulator()
+def test_run_until_past_queue_parks_clock(sim):
     sim.schedule(1.0, lambda: None)
     sim.run(until=10.0)
     assert sim.now == 10.0
 
 
-def test_cancelled_event_does_not_fire():
-    sim = Simulator()
+def test_cancelled_event_does_not_fire(sim):
     fired = []
     event = sim.schedule(1.0, fired.append, "x")
     event.cancel()
@@ -60,8 +64,7 @@ def test_cancelled_event_does_not_fire():
     assert not event.pending
 
 
-def test_cancel_is_idempotent():
-    sim = Simulator()
+def test_cancel_is_idempotent(sim):
     event = sim.schedule(1.0, lambda: None)
     event.cancel()
     event.cancel()
@@ -69,8 +72,7 @@ def test_cancel_is_idempotent():
     assert event.cancelled
 
 
-def test_schedule_in_past_raises():
-    sim = Simulator()
+def test_schedule_in_past_raises(sim):
     sim.schedule(1.0, lambda: None)
     sim.run()
     with pytest.raises(SimulationError):
@@ -79,8 +81,7 @@ def test_schedule_in_past_raises():
         sim.schedule(-0.1, lambda: None)
 
 
-def test_events_scheduled_during_run_fire():
-    sim = Simulator()
+def test_events_scheduled_during_run_fire(sim):
     order = []
 
     def outer():
@@ -92,16 +93,14 @@ def test_events_scheduled_during_run_fire():
     assert order == ["outer", "inner"]
 
 
-def test_zero_delay_event_fires_at_current_time():
-    sim = Simulator()
+def test_zero_delay_event_fires_at_current_time(sim):
     times = []
     sim.schedule(2.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
     sim.run()
     assert times == [2.0]
 
 
-def test_stop_halts_run():
-    sim = Simulator()
+def test_stop_halts_run(sim):
     fired = []
 
     def first():
@@ -115,8 +114,7 @@ def test_stop_halts_run():
     assert sim.peek() == 2.0  # event 2 still queued
 
 
-def test_max_events_bound():
-    sim = Simulator()
+def test_max_events_bound(sim):
     fired = []
     for i in range(10):
         sim.schedule(float(i + 1), fired.append, i)
@@ -124,31 +122,27 @@ def test_max_events_bound():
     assert fired == [0, 1, 2]
 
 
-def test_peek_skips_cancelled():
-    sim = Simulator()
+def test_peek_skips_cancelled(sim):
     first = sim.schedule(1.0, lambda: None)
     sim.schedule(2.0, lambda: None)
     first.cancel()
     assert sim.peek() == 2.0
 
 
-def test_pending_count():
-    sim = Simulator()
+def test_pending_count(sim):
     events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
     events[0].cancel()
     assert sim.pending_count() == 4
 
 
-def test_events_processed_counter():
-    sim = Simulator()
+def test_events_processed_counter(sim):
     for i in range(4):
         sim.schedule(float(i + 1), lambda: None)
     sim.run()
     assert sim.events_processed == 4
 
 
-def test_max_events_exhaustion_leaves_queue_and_resumes():
-    sim = Simulator()
+def test_max_events_exhaustion_leaves_queue_and_resumes(sim):
     fired = []
     for i in range(6):
         sim.schedule(float(i + 1), fired.append, i)
@@ -161,8 +155,7 @@ def test_max_events_exhaustion_leaves_queue_and_resumes():
     assert fired == [0, 1, 2, 3, 4, 5]
 
 
-def test_max_events_counts_only_fired_not_cancelled():
-    sim = Simulator()
+def test_max_events_counts_only_fired_not_cancelled(sim):
     fired = []
     events = [sim.schedule(float(i + 1), fired.append, i) for i in range(6)]
     events[0].cancel()
@@ -172,8 +165,7 @@ def test_max_events_counts_only_fired_not_cancelled():
     assert fired == [2, 3]
 
 
-def test_stop_mid_callback_does_not_advance_to_until():
-    sim = Simulator()
+def test_stop_mid_callback_does_not_advance_to_until(sim):
     fired = []
 
     def first():
@@ -187,8 +179,7 @@ def test_stop_mid_callback_does_not_advance_to_until():
     assert sim.now == 1.0  # stop() pins the clock; no park at `until`
 
 
-def test_stopped_run_can_be_resumed():
-    sim = Simulator()
+def test_stopped_run_can_be_resumed(sim):
     fired = []
     sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
     sim.schedule(2.0, fired.append, 2)
@@ -198,8 +189,7 @@ def test_stopped_run_can_be_resumed():
     assert fired == [1, 2]
 
 
-def test_peek_and_pending_count_agree_after_cancellations():
-    sim = Simulator()
+def test_peek_and_pending_count_agree_after_cancellations(sim):
     events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
     for event in events[:3]:
         event.cancel()
@@ -212,8 +202,7 @@ def test_peek_and_pending_count_agree_after_cancellations():
     assert sim.pending_count() == 0
 
 
-def test_queue_hwm_and_wall_time_tracking():
-    sim = Simulator()
+def test_queue_hwm_and_wall_time_tracking(sim):
     for i in range(7):
         sim.schedule(float(i + 1), lambda: None)
     assert sim.queue_hwm == 7
@@ -223,8 +212,7 @@ def test_queue_hwm_and_wall_time_tracking():
     assert sim.wall_time > 0.0
 
 
-def test_reentrant_run_rejected():
-    sim = Simulator()
+def test_reentrant_run_rejected(sim):
     errors = []
 
     def nested():
@@ -236,3 +224,145 @@ def test_reentrant_run_rejected():
     sim.schedule(1.0, nested)
     sim.run()
     assert len(errors) == 1
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+def test_backend_selection_and_names():
+    from repro.sim.calendar import CalendarSimulator
+
+    assert Simulator().backend_name == "calendar"  # default since the flip
+    assert Simulator(backend="heap").backend_name == "heap"
+    calendar = Simulator(backend="calendar")
+    assert calendar.backend_name == "calendar"
+    assert isinstance(calendar, Simulator)
+    assert isinstance(calendar, CalendarSimulator)
+    with pytest.raises(ValueError):
+        Simulator(backend="fibonacci")
+
+
+def test_set_default_backend_round_trip():
+    from repro.sim.engine import set_default_backend
+
+    previous = set_default_backend("heap")
+    try:
+        assert previous == "calendar"
+        assert Simulator().backend_name == "heap"
+    finally:
+        set_default_backend(previous)
+    assert Simulator().backend_name == "calendar"
+    with pytest.raises(ValueError):
+        set_default_backend("fibonacci")
+
+
+def test_build_context_backend_parameter():
+    from repro.context import build_context
+
+    assert build_context(seed=0, trace_kinds=set()).sim.backend_name == "calendar"
+    ctx = build_context(seed=0, trace_kinds=set(), backend="heap")
+    assert ctx.sim.backend_name == "heap"
+
+
+def test_calendar_geometry_validation():
+    from repro.sim.calendar import CalendarSimulator
+
+    with pytest.raises(ValueError):
+        CalendarSimulator(nbuckets=100)  # not a power of two
+    with pytest.raises(ValueError):
+        CalendarSimulator(bucket_width=0.0)
+    # Tiny wheels exercise the overflow/migration path but stay correct.
+    sim = CalendarSimulator(nbuckets=4, bucket_width=1e-3)
+    order = []
+    for i in (9, 2, 7, 0, 4):
+        sim.schedule(i * 1e-3, order.append, i)
+    sim.run()
+    assert order == [0, 2, 4, 7, 9]
+
+
+def test_calendar_rejects_non_finite_times():
+    sim = Simulator(backend="calendar")
+    with pytest.raises(SimulationError):
+        sim.schedule(float("inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+# ----------------------------------------------------------------------
+# Accounting fixes: pending high-water mark, O(1) pending, compaction
+# ----------------------------------------------------------------------
+
+def test_queue_hwm_excludes_cancelled_entries(sim):
+    """queue_hwm tracks *pending* depth, not lazily-retained cancelled junk."""
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.queue_hwm == 10
+    for event in events[:6]:
+        event.cancel()
+    # The heap still physically holds 10 entries, but pending fell to 4:
+    # new schedules must not raise the mark until depth really exceeds 10.
+    for i in range(5):
+        sim.schedule(20.0 + i, lambda: None)
+    assert sim.pending_count() == 9
+    assert sim.queue_hwm == 10
+    for i in range(2):
+        sim.schedule(30.0 + i, lambda: None)
+    assert sim.queue_hwm == 11  # 9 + 2 pending beats the old mark
+
+
+def test_pending_count_is_live_through_run_and_cancel(sim):
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(6)]
+    assert sim.pending_count() == 6
+    events[5].cancel()
+    assert sim.pending_count() == 5
+    sim.run(max_events=2)
+    assert sim.pending_count() == 3
+    sim.run()
+    assert sim.pending_count() == 0
+
+
+def test_compaction_bounds_queue_under_backoff_replanning(sim):
+    """Sustained schedule+cancel churn must not grow the queue unboundedly.
+
+    Models MAC backoff re-planning: every round cancels the previous
+    completion event and schedules a new one.  With lazy cancellation only,
+    the queue would hold every cancelled entry until it surfaced; the
+    compaction threshold keeps physical length <= 2x pending (+ slack below
+    the trigger floor).
+    """
+    from repro.sim.engine import COMPACT_MIN_CANCELLED
+
+    keepers = [sim.schedule(1000.0 + i, lambda: None) for i in range(40)]
+    replanned = sim.schedule(500.0, lambda: None)
+    for round_ in range(2000):
+        replanned.cancel()
+        replanned = sim.schedule(500.0 + round_ * 1e-3, lambda: None)
+        pending = sim.pending_count()
+        length = sim.queue_length()
+        assert length <= max(2 * pending, pending + COMPACT_MIN_CANCELLED + 1)
+    assert sim.pending_count() == len(keepers) + 1
+    assert sim.compactions > 0
+    sim.run()
+    assert sim.events_processed == len(keepers) + 1
+
+
+def test_cancel_after_fire_is_noop_for_accounting(sim):
+    fired = []
+    event = sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, lambda: None)
+    sim.run(max_events=1)
+    assert fired == [1]
+    event.cancel()  # already fired: must not disturb the pending counter
+    assert sim.pending_count() == 1
+    sim.run()
+    assert sim.events_processed == 2
+
+
+def test_queue_length_agrees_with_pending_when_clean(sim):
+    for i in range(9):
+        sim.schedule(float(i + 1), lambda: None)
+    assert sim.queue_length() == 9
+    assert sim.pending_count() == 9
+    sim.run(max_events=4)
+    assert sim.queue_length() == 5
+    assert sim.pending_count() == 5

@@ -1,0 +1,133 @@
+"""Campaign statistics: t critical values and summary round-trips.
+
+Regression coverage for two real bugs: the scipy-less ``t_critical``
+fallback used to return z=1.96 for *all* degrees of freedom (df=4 needs
+2.776 — a 42% wider interval), and ``MetricSummary.to_dict`` emitted ``n``
+as an int inside a payload declared ``Dict[str, float]`` with no typed way
+back from ``report.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.stats import (
+    _T95_TABLE,
+    MetricSummary,
+    aggregate_records,
+    summarize,
+    t_critical,
+)
+
+try:
+    from scipy import stats as scipy_stats
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - CI installs scipy
+    HAVE_SCIPY = False
+
+
+def _fallback_t_critical(df, confidence=0.95):
+    """Call t_critical as if scipy were absent."""
+    import builtins
+    import unittest.mock as mock
+
+    real_import = builtins.__import__
+
+    def no_scipy(name, *args, **kwargs):
+        if name == "scipy" or name.startswith("scipy."):
+            raise ImportError(name)
+        return real_import(name, *args, **kwargs)
+
+    with mock.patch.object(builtins, "__import__", side_effect=no_scipy):
+        return t_critical(df, confidence)
+
+
+def test_small_sample_critical_values_are_not_z():
+    """The old fallback returned 1.96 for every df."""
+    assert _fallback_t_critical(1) == pytest.approx(12.706, abs=1e-3)
+    assert _fallback_t_critical(4) == pytest.approx(2.776, abs=1e-3)
+    assert _fallback_t_critical(10) == pytest.approx(2.228, abs=1e-3)
+    assert _fallback_t_critical(30) == pytest.approx(2.042, abs=1e-3)
+    # Beyond the table the normal quantile is an adequate approximation.
+    assert _fallback_t_critical(31) == pytest.approx(1.959963984540054, abs=1e-9)
+
+
+@pytest.mark.skipif(not HAVE_SCIPY, reason="scipy not installed")
+@pytest.mark.parametrize("df", list(range(1, 31)))
+def test_t_table_pins_scipy_values(df):
+    """The hardcoded table must match scipy to the printed precision."""
+    exact = float(scipy_stats.t.ppf(0.975, df))
+    assert _T95_TABLE[df - 1] == pytest.approx(exact, abs=5e-4)
+    # With scipy present, t_critical uses scipy directly.
+    assert t_critical(df) == pytest.approx(exact, abs=1e-12)
+
+
+def test_fallback_non_95_confidence_uses_normal_quantile():
+    assert _fallback_t_critical(4, confidence=0.99) == pytest.approx(
+        2.5758293035489004, abs=1e-9
+    )
+
+
+def test_t_critical_invalid_df():
+    assert math.isnan(t_critical(0))
+    assert math.isnan(t_critical(-3))
+
+
+def test_table_is_monotonic_towards_normal():
+    assert all(a > b for a, b in zip(_T95_TABLE, _T95_TABLE[1:]))
+    assert _T95_TABLE[-1] > 1.959963984540054
+
+
+# ----------------------------------------------------------------------
+# MetricSummary serialization round-trip
+# ----------------------------------------------------------------------
+def test_metric_summary_round_trips_typed_through_json():
+    summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    payload = json.loads(json.dumps(summary.to_dict()))
+    restored = MetricSummary.from_dict(payload)
+    assert restored == summary
+    assert isinstance(restored.n, int)
+    assert isinstance(restored.mean, float)
+    assert restored.lo == summary.lo and restored.hi == summary.hi
+
+
+def test_from_dict_coerces_types():
+    restored = MetricSummary.from_dict(
+        {"n": 3.0, "mean": "2.5", "std": 1, "stderr": 0.5, "ci95": 0.9}
+    )
+    assert restored.n == 3 and isinstance(restored.n, int)
+    assert restored.std == 1.0 and isinstance(restored.std, float)
+
+
+def test_ci_uses_t_not_z_for_small_samples():
+    """df=4: the CI half-width must reflect t=2.776, not z=1.96."""
+    summary = summarize([10.0, 12.0, 9.0, 11.0, 13.0])
+    expected_t = t_critical(4)
+    assert expected_t > 2.7
+    assert summary.ci95 == pytest.approx(expected_t * summary.stderr)
+
+
+def test_aggregate_records_summaries_round_trip():
+    records = [
+        ({"scheme": "bicord", "seed": s}, {"delivery": 0.9 + 0.01 * s})
+        for s in range(4)
+    ] + [
+        ({"scheme": "ecc", "seed": s}, {"delivery": 0.7 + 0.01 * s})
+        for s in range(4)
+    ]
+    report = aggregate_records(records)
+    payload = {
+        group: {name: s.to_dict() for name, s in metrics.items()}
+        for group, metrics in report.items()
+    }
+    restored = {
+        group: {
+            name: MetricSummary.from_dict(p) for name, p in metrics.items()
+        }
+        for group, metrics in json.loads(json.dumps(payload)).items()
+    }
+    assert restored == report
