@@ -1,0 +1,102 @@
+"""Job-server smoke: a real ``repro serve`` subprocess driven end to end.
+
+Not a figure reproduction: this is the CI canary for the coordination
+server (``repro.server``).  It boots the server as a subprocess, submits
+two jobs at different priorities from separate clients, streams at least
+one live telemetry snapshot off the watch socket, SIGTERMs the process
+mid-run, and restarts it over the same state directory to check that the
+interrupted work replays and completes.  Runs in the non-blocking
+``server-smoke`` CI lane (see .github/workflows/ci.yml), not in the
+tier-1 suite (which has its own in-process lifecycle suite plus one full
+subprocess acceptance test).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.api import Client
+from repro.server import JobState
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+TINY = {"scenario": "office", "duration": 0.02}
+SLOW = {"scenario": "office", "duration": 5.0}
+
+
+def _spawn(state_dir, cache):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env["BICORD_SWEEP_CACHE"] = str(cache)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--state-dir", str(state_dir), "--quiet",
+            "--workers", "1", "--queue-depth", "8",
+            "--snapshot-interval", "0.05", "--drain-grace", "0.2",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def test_server_smoke(tmp_path):
+    state = tmp_path / "state"
+    cache = tmp_path / "cache"
+    proc = _spawn(state, cache)
+    try:
+        alice = Client.from_state_dir(state, retry_for=30.0,
+                                      client_name="alice")
+        bob = Client.from_state_dir(state, retry_for=5.0, client_name="bob")
+        assert alice.ping()["state"] == "serving"
+
+        # Two clients, two priorities, behind one long-running blocker.
+        blocker = alice.submit(params=SLOW, seeds=[0, 1])
+        low = alice.submit(params=TINY, seeds=[10], priority=5)
+        high = bob.submit(params=TINY, seeds=[11], priority=0)
+
+        # Stream live telemetry off the running blocker.
+        frames = []
+        for frame in alice.watch(blocker["job_id"]):
+            frames.append(frame)
+            if len(frames) >= 3 and frame["type"] == "snapshot":
+                break
+        assert any(f["type"] == "snapshot" for f in frames)
+
+        # The high-priority job overtakes the low-priority one.
+        high_rec = bob.wait(high["job_id"], timeout=120)
+        low_rec = alice.wait(low["job_id"], timeout=120)
+        assert high_rec["state"] == low_rec["state"] == JobState.DONE
+        assert high_rec["started_at"] < low_rec["started_at"]
+
+        # SIGTERM mid-job: graceful exit (grace < one trial).
+        victim = alice.submit(params=SLOW, seeds=[2, 3])
+        deadline = time.monotonic() + 60
+        while alice.status(victim["job_id"])["state"] != JobState.RUNNING:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    # Restart over the same state dir: the interrupted job replays and
+    # finishes (completed trials come back from cache).
+    proc2 = _spawn(state, cache)
+    try:
+        carol = Client.from_state_dir(state, retry_for=30.0,
+                                      client_name="carol")
+        done = carol.wait(victim["job_id"], timeout=180)
+        assert done["state"] == JobState.DONE
+        assert done["done_trials"] == done["total_trials"] == 2
+        carol.shutdown()
+        assert proc2.wait(timeout=60) == 0
+    finally:
+        if proc2.poll() is None:
+            proc2.kill()
+            proc2.wait()

@@ -1,0 +1,131 @@
+"""Job-server throughput: the coordination-as-a-service headline numbers.
+
+Three rows for ``BENCH_kernels.json``:
+
+* submissions/sec — full protocol round trips for cache-hit submissions
+  (connect, fingerprint, cache probe, respond).  This is the server's
+  intake ceiling, and it must stay far above any realistic client rate.
+* p99 time-to-result — submit-to-result-in-hand latency for a cached job,
+  the interactive "ask again" path (``extra_info.p99_time_to_result_s``).
+* concurrent-run ceiling — with W workers, W jobs execute simultaneously
+  and the makespan of 2W single-trial jobs is ~2 batches, not 2W trials
+  (``extra_info.concurrent_run_ceiling``).
+
+The server runs in-process (its own asyncio loop in a daemon thread) so
+the numbers measure the server, not process startup.
+"""
+
+import asyncio
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.api import Client
+from repro.experiments.sweep import SweepEngine
+from repro.server import JobServer, ServerConfig
+
+#: Cache-hit workload: milliseconds of wall time when actually executed.
+TINY = {"scenario": "office", "duration": 0.02}
+#: Executed workload for the ceiling bench (~0.1 s wall per trial).
+SHORT = {"scenario": "office", "duration": 1.0}
+
+
+@contextmanager
+def running_server(tmp_path, **overrides):
+    options = dict(
+        state_dir=tmp_path / "state",
+        cache_dir=tmp_path / "cache",
+        workers=2,
+        queue_depth=64,
+        snapshot_interval=0.5,
+        drain_grace=30.0,
+    )
+    options.update(overrides)
+    server = JobServer(ServerConfig(**options))
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.serve()), daemon=True
+    )
+    thread.start()
+    client = Client.from_state_dir(
+        options["state_dir"], retry_for=15.0, client_name="bench"
+    )
+    try:
+        yield server, client
+    finally:
+        try:
+            client.shutdown()
+        except OSError:
+            pass
+        thread.join(timeout=60)
+
+
+def _warm_cache(tmp_path, seeds):
+    engine = SweepEngine(cache_dir=tmp_path / "cache")
+    engine.run_pairs("scenario", [(TINY, seed) for seed in seeds])
+
+
+def test_server_submissions_per_second(benchmark, tmp_path):
+    """One cache-hit submission per round: ops/s == submissions/sec."""
+    _warm_cache(tmp_path, seeds=[0])
+    with running_server(tmp_path) as (_, client):
+
+        def submit():
+            job = client.submit(params=TINY, seeds=[0])
+            assert job["cached"] is True
+
+        benchmark(submit)
+    benchmark.extra_info["path"] = "cache_hit"
+
+
+def test_server_time_to_result(benchmark, tmp_path):
+    """Submit + fetch results, p99 over the benchmark's own rounds."""
+    _warm_cache(tmp_path, seeds=[0, 1])
+    with running_server(tmp_path) as (_, client):
+
+        def submit_and_fetch():
+            job = client.submit(params=TINY, seeds=[0, 1])
+            rows = client.result(job["job_id"])["results"]
+            assert len(rows) == 2
+
+        benchmark(submit_and_fetch)
+    rounds = sorted(benchmark.stats.stats.data)
+    p99 = rounds[min(len(rounds) - 1, int(0.99 * len(rounds)))]
+    benchmark.extra_info["p99_time_to_result_s"] = p99
+
+
+def test_server_concurrent_run_ceiling(benchmark, tmp_path):
+    """2W single-trial jobs across W workers: makespan ~ 2 batches.
+
+    Each round uses fresh seeds so every trial truly executes; a stats
+    poller records the highest simultaneous RUNNING count, which must
+    reach the worker count (the advertised concurrent-run ceiling).
+    """
+    workers = 2
+    seen = {"max_running": 0}
+    seed_base = iter(range(10_000, 1_000_000, 100))
+
+    with running_server(tmp_path, workers=workers) as (_, client):
+
+        def makespan():
+            base = next(seed_base)
+            jobs = [
+                client.submit(params=SHORT, seeds=[base + i])
+                for i in range(2 * workers)
+            ]
+            while True:
+                stats = client.stats()
+                seen["max_running"] = max(
+                    seen["max_running"], stats["running"]
+                )
+                if stats["running"] == 0 and stats["queued"] == 0:
+                    break
+                time.sleep(0.01)
+            for job in jobs:
+                record = client.status(job["job_id"])
+                assert record["state"] == "done"
+
+        benchmark.pedantic(makespan, rounds=3, iterations=1, warmup_rounds=1)
+
+    assert seen["max_running"] == workers
+    benchmark.extra_info["concurrent_run_ceiling"] = seen["max_running"]
+    benchmark.extra_info["jobs_per_round"] = 2 * workers

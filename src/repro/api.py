@@ -11,6 +11,13 @@ five functions::
     spec = bicord.load_scenario("dense-office", n_links=6)
     cached = bicord.get_result("coexistence", {"scheme": "ecc"}, seed=3)
 
+plus the job-server client (``repro serve`` on the other end)::
+
+    client = bicord.Client.from_state_dir("server-state")
+    job = client.submit(params={"scenario": "office"}, seeds=[0, 1, 2])
+    record = client.wait(job["job_id"])
+    rows = client.result(job["job_id"])["results"]
+
 These wrappers are intentionally thin — each delegates to the underlying
 subsystem (registry, sweep engine, campaign runner, scenario library,
 sweep cache) — but their *signatures* are the compatibility contract:
@@ -24,7 +31,12 @@ from __future__ import annotations
 import os
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
-from .experiments.campaign import CampaignRun, CampaignRunner, CampaignSpec
+from .experiments.campaign import (
+    CampaignRun,
+    CampaignRunner,
+    CampaignSpec,
+    campaign_from_generator,
+)
 from .experiments.registry import run_experiment
 from .experiments.sweep import (
     SweepEngine,
@@ -33,15 +45,19 @@ from .experiments.sweep import (
     load_cached,
 )
 from .experiments.topology import Calibration
+from .server.client import Client, ServerError
 
 __all__ = [
     "run",
     "sweep",
     "campaign",
+    "campaign_from_generator",
     "load_scenario",
     "get_result",
     "CampaignSpec",
     "Calibration",
+    "Client",
+    "ServerError",
 ]
 
 
@@ -74,11 +90,12 @@ def sweep(
     cache_dir: Optional[os.PathLike] = None,
     telemetry: bool = False,
     quiet: bool = False,
+    backend: Optional[str] = None,
 ) -> SweepRun:
     """Run a parameter grid x seed sweep (parallel, cached); see SweepRun."""
     engine = SweepEngine(
         jobs=jobs, cache=cache, cache_dir=cache_dir,
-        telemetry=telemetry, quiet=quiet,
+        telemetry=telemetry, quiet=quiet, backend=backend,
     )
     spec = SweepSpec(
         experiment=experiment,
@@ -98,6 +115,7 @@ def campaign(
     calibration: Optional[Calibration] = None,
     cache_dir: Optional[os.PathLike] = None,
     quiet: bool = True,
+    backend: Optional[str] = None,
 ) -> CampaignRun:
     """Run (or resume) a sharded, journaled campaign in ``directory``.
 
@@ -109,7 +127,7 @@ def campaign(
         spec = CampaignSpec(**spec)
     runner = CampaignRunner(
         directory, jobs=jobs, cache_dir=cache_dir,
-        calibration=calibration, quiet=quiet,
+        calibration=calibration, quiet=quiet, backend=backend,
     )
     return runner.run(spec, max_trials=max_trials)
 

@@ -65,6 +65,7 @@ def _make_engine(args: argparse.Namespace, progress=None) -> SweepEngine:
         progress=progress,
         telemetry=bool(getattr(args, "metrics_out", None)),
         quiet=getattr(args, "quiet", False),
+        backend=getattr(args, "backend", None),
     )
 
 
@@ -851,6 +852,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         cache=not args.no_cache,
         quiet=args.quiet,
+        backend=args.backend,
     )
 
     if args.action == "status":
@@ -894,6 +896,49 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(comparison_table(summaries))
         return 0
 
+    # gen: build the spec from a scenario generator, then run it
+    if args.action == "gen":
+        from .experiments.campaign import campaign_from_generator
+
+        if not args.generator:
+            print("error: campaign gen requires --generator NAME",
+                  file=sys.stderr)
+            return 2
+        fixed: Dict[str, Any] = {}
+        for option in args.gen_param or []:
+            if "=" not in option:
+                print(f"error: --gen-param expects KEY=VALUE, got {option!r}",
+                      file=sys.stderr)
+                return 2
+            key, _, value = option.partition("=")
+            fixed[key.strip()] = _parse_scalar(value)
+        base: Dict[str, Any] = {}
+        for option in args.base or []:
+            if "=" not in option:
+                print(f"error: --base expects KEY=VALUE, got {option!r}",
+                      file=sys.stderr)
+                return 2
+            key, _, value = option.partition("=")
+            base[key.strip()] = _parse_scalar(value)
+        try:
+            spec = campaign_from_generator(
+                name=args.name,
+                generator=args.generator,
+                count=args.count,
+                axis=args.axis,
+                start=args.start,
+                params=fixed,
+                base=base,
+                seeds=tuple(_seed_range(args)),
+                shards=args.shards,
+                compare_by=args.compare_by,
+            )
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        return _run_campaign(args, runner, spec)
+
     # run / resume
     spec = None
     if args.action == "run":
@@ -933,6 +978,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print(f"error: {message}", file=sys.stderr)
             return 2
 
+    return _run_campaign(args, runner, spec)
+
+
+def _run_campaign(args: argparse.Namespace, runner, spec) -> int:
+    """Execute (or resume) a campaign spec and print the outcome."""
+    from .experiments.campaign import CampaignError, comparison_table
+
     def progress(trial, record, n_done, n_total):
         if args.quiet:
             return
@@ -967,6 +1019,52 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             seeds=tuple(run.spec.seeds), wall_time=run.elapsed,
             extra={"campaign": run.spec.name},
         )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the coordination job server until SIGTERM drains it.
+
+    All runtime output goes through ``repro.log`` (the ``repro.server``
+    loggers), so ``--quiet``/-v behave exactly like every other
+    subcommand — the only bare print is the one-line startup banner
+    below, which doubles as the parseable "where do I connect" answer.
+    """
+    import asyncio
+
+    from .server import JobServer, ServerConfig
+
+    config = ServerConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        snapshot_interval=args.snapshot_interval,
+        drain_grace=args.drain_grace,
+    )
+    server = JobServer(config)
+
+    async def run() -> None:
+        await server.start()
+        if not args.quiet:
+            print(
+                f"repro server: {config.host}:{server.port} "
+                f"(state {config.state_dir}, workers {config.workers}, "
+                f"queue depth {config.queue_depth})",
+                flush=True,
+            )
+        try:
+            await server._shutdown.wait()
+        finally:
+            await server._drain()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass  # SIGINT on platforms without loop signal handlers
     return 0
 
 
@@ -1005,6 +1103,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="disable the on-disk trial cache")
     exec_flags.add_argument("--quiet", action="store_true",
                             help="suppress progress output")
+    exec_flags.add_argument("--backend", choices=("heap", "calendar"),
+                            default=None,
+                            help="scheduler backend for every trial, "
+                                 "including pooled workers (default: the "
+                                 "process default; recorded in the manifest)")
 
     telemetry_flags = argparse.ArgumentParser(add_help=False)
     telemetry_flags.add_argument("--metrics-out", metavar="PATH", default=None,
@@ -1135,7 +1238,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "(results are served from the trial cache); `report` "
                     "prints per-scheme means with 95% confidence intervals.",
     )
-    p.add_argument("action", choices=("run", "resume", "status", "report"))
+    p.add_argument("action", choices=("run", "resume", "status", "report",
+                                      "gen"))
     p.add_argument("--dir", default="campaign",
                    help="campaign directory (spec + journal + manifest)")
     p.add_argument("--name", default="campaign",
@@ -1162,7 +1266,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", action="store_true",
                    help="report batch-means CIs (average seeds per "
                         "combination first)")
+    p.add_argument("--generator", default=None, metavar="NAME",
+                   help="(gen) scenario generator to sweep placements of "
+                        "— e.g. random_uniform, clustered")
+    p.add_argument("--count", type=_positive_int, default=10,
+                   help="(gen) number of generated placements")
+    p.add_argument("--axis", default="placement_seed",
+                   help="(gen) generator parameter swept over "
+                        "start..start+count (default: placement_seed)")
+    p.add_argument("--start", type=int, default=0,
+                   help="(gen) first value of the swept axis")
+    p.add_argument("--gen-param", action="append", metavar="KEY=VALUE",
+                   help="(gen) fixed generator parameter (repeatable), "
+                        "e.g. n_zigbee_links=6")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the coordination job server (submit/status/result/watch)",
+        description="Long-running asyncio job server: accepts experiment "
+                    "submissions over a local ND-JSON socket, multiplexes "
+                    "them across a bounded worker pool with per-client "
+                    "fair priority scheduling and explicit backpressure, "
+                    "and serves results by content fingerprint from the "
+                    "sweep cache. SIGTERM drains gracefully; queued and "
+                    "interrupted jobs resume on the next start.",
+    )
+    p.add_argument("--state-dir", default="server-state",
+                   help="journal + discovery (server.json) directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral; see server.json)")
+    p.add_argument("--workers", type=_positive_int, default=2,
+                   help="worker processes = concurrent-job ceiling")
+    p.add_argument("--queue-depth", type=_positive_int, default=16,
+                   help="max queued jobs before submissions are rejected "
+                        "with a retry-after hint")
+    p.add_argument("--cache-dir", default=None,
+                   help="sweep cache directory (default: "
+                        "$BICORD_SWEEP_CACHE or ~/.cache/bicord/sweeps)")
+    p.add_argument("--backend", choices=("heap", "calendar"), default=None,
+                   help="scheduler backend shipped to worker trials")
+    p.add_argument("--snapshot-interval", type=float, default=0.5,
+                   help="seconds between telemetry frames on watch streams")
+    p.add_argument("--drain-grace", type=float, default=30.0,
+                   help="seconds SIGTERM waits for in-flight jobs")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the startup banner and log output")
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="more logging (repeatable)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "list", help="list registered experiments and library scenarios"

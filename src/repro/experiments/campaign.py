@@ -144,6 +144,70 @@ def plan_campaign(
     return trials
 
 
+def campaign_from_generator(
+    name: str,
+    generator: str,
+    count: int,
+    axis: str = "placement_seed",
+    start: int = 0,
+    params: Optional[Mapping[str, Any]] = None,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    base: Optional[Mapping[str, Any]] = None,
+    seeds: Sequence[int] = (0,),
+    shards: int = 1,
+    compare_by: str = "scheme",
+) -> CampaignSpec:
+    """A campaign over ``count`` placements of one scenario generator.
+
+    Closes the generator→campaign gap: "a campaign of 1000 random-uniform
+    deployments" becomes one call instead of hand-writing a
+    ``scenario_grid``.  ``axis`` is the generator parameter that is swept
+    over ``range(start, start + count)`` — by default ``placement_seed``,
+    the knob the ``random_uniform``/``clustered`` generators re-roll
+    placements with.  ``params`` are fixed generator parameters (density,
+    area, ...); ``grid``/``base`` are ordinary experiment-level campaign
+    axes (e.g. ``{"scheme": ("bicord", "ecc")}`` via the base params dict).
+
+    The generator and axis are validated against the scenario library up
+    front, so a typo — or sweeping ``placement_seed`` on the deterministic
+    ``grid`` generator, which has no such knob — fails at build time with
+    the generator's actual parameter list, not deep inside a worker.
+    """
+    from ..scenarios import get_scenario_entry
+
+    entry = get_scenario_entry(generator)
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    fixed = dict(params or {})
+    unknown = sorted((set(fixed) | {axis}) - set(entry.param_names))
+    if unknown:
+        raise ValueError(
+            f"scenario generator {entry.name!r} has no parameter(s) {unknown}; "
+            f"valid: {sorted(entry.param_names)}"
+        )
+    if axis in fixed:
+        raise ValueError(
+            f"axis {axis!r} also appears in params; it is swept, not fixed"
+        )
+    reserved = {"scenario", "params"} & set(base or {}) | {"scenario", "params"} & set(grid or {})
+    if reserved:
+        raise ValueError(
+            f"base/grid may not set {sorted(reserved)}; the generator call "
+            "owns them (use params=/axis= for generator knobs)"
+        )
+    merged_base = {"scenario": entry.name, "params": fixed, **dict(base or {})}
+    return CampaignSpec(
+        name=name,
+        experiment="scenario",
+        grid=dict(grid or {}),
+        base=merged_base,
+        scenario_grid={axis: tuple(range(int(start), int(start) + int(count)))},
+        seeds=tuple(int(s) for s in seeds),
+        shards=shards,
+        compare_by=compare_by,
+    )
+
+
 def _flat_params(params: Mapping[str, Any]) -> Dict[str, Any]:
     """Lift nested scenario factory params to the top level for grouping."""
     flat = dict(params)
@@ -303,6 +367,7 @@ class CampaignRunner:
         calibration: Optional[Calibration] = None,
         telemetry: bool = True,
         quiet: bool = False,
+        backend: Optional[str] = None,
     ):
         self.directory = Path(directory)
         self.jobs = int(jobs)
@@ -314,6 +379,9 @@ class CampaignRunner:
         self.calibration = calibration
         self.telemetry = bool(telemetry)
         self.quiet = bool(quiet)
+        #: Scheduler backend shipped to every worker trial (None = the
+        #: process default at execution time); recorded in the manifest.
+        self.backend = backend
 
     # -- paths ---------------------------------------------------------
     @property
@@ -470,6 +538,7 @@ class CampaignRunner:
             telemetry=self.telemetry,
             progress=on_trial,
             quiet=self.quiet,
+            backend=self.backend,
         )
         if not self.quiet:
             _LOG.info(
@@ -608,6 +677,7 @@ class CampaignRunner:
                 metrics=headline,
                 extra={"campaign": spec.name, "shard": shard,
                        "trials": len(lines)},
+                backend=self.backend,
             )
             shard_manifests.append(manifest.to_dict())
         if run.telemetry is not None:

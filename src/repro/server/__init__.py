@@ -1,0 +1,48 @@
+"""Coordination-as-a-service: the long-running simulation job server.
+
+BiCord's premise is many coexisting devices sharing one medium under a
+coordinator; this package is the evaluation-side analogue — many clients
+sharing one simulation cache under a coordinator process.  A
+:class:`JobServer` accepts experiment submissions (scenario specs,
+campaign-style multi-seed grids) over a local ND-JSON socket protocol,
+multiplexes them across a bounded process pool, and serves results by
+content fingerprint straight from the sweep cache, so a submission whose
+trials are all cached completes without ever touching a worker slot.
+
+The pieces:
+
+* :mod:`jobs`     — the typed job model (:class:`JobSpec` /
+  :class:`JobRecord`, states ``queued -> running -> done/failed/cancelled``);
+* :mod:`queue`    — a bounded priority queue with per-client round-robin
+  fairness and explicit backpressure (:class:`QueueFull` carries a
+  ``retry_after`` estimate);
+* :mod:`journal`  — the fsync'd JSONL job journal (the campaign journal
+  idea applied to server state), making SIGTERM drain resumable;
+* :mod:`protocol` — the newline-delimited JSON wire format;
+* :mod:`service`  — the asyncio server loop, dispatcher, drain handling,
+  and live telemetry snapshot streaming;
+* :mod:`client`   — the thin synchronous :class:`Client`
+  (submit/status/result/cancel/watch), re-exported as
+  :class:`repro.api.Client`.
+
+Everything is stdlib ``asyncio`` + ``socket`` — no new runtime deps.
+"""
+
+from .client import Client, ServerError
+from .jobs import JobRecord, JobSpec, JobState
+from .journal import ServerJournal
+from .queue import FairPriorityQueue, QueueFull
+from .service import JobServer, ServerConfig
+
+__all__ = [
+    "Client",
+    "FairPriorityQueue",
+    "JobRecord",
+    "JobServer",
+    "JobSpec",
+    "JobState",
+    "QueueFull",
+    "ServerConfig",
+    "ServerError",
+    "ServerJournal",
+]

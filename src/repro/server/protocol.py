@@ -1,0 +1,76 @@
+"""Newline-delimited JSON wire format shared by server and client.
+
+One request per connection: the client sends a single JSON object line
+(``{"op": ..., ...}``), the server answers with one response line
+(``{"ok": true, ...}`` / ``{"ok": false, "error": ...}``) — except
+``watch``, which answers with a *stream* of telemetry snapshot lines and
+closes after a final ``{"type": "end"}`` frame.  Keeping the protocol
+line-oriented means any language (or ``nc`` + ``jq``) can speak it, and
+the telemetry frames reuse :func:`repro.telemetry.jsonl_line`, so a
+watched stream is byte-compatible with an exported metrics file.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict
+
+from ..telemetry import jsonl_line
+
+#: Accepted request operations.
+OPS = (
+    "ping", "submit", "status", "jobs", "result",
+    "cancel", "watch", "stats", "shutdown",
+)
+
+#: Upper bound on one request line; anything bigger is a protocol error
+#: (a grid big enough to exceed this should be a campaign, not one job).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """Malformed frame (bad JSON, unknown op, oversized line)."""
+
+
+def ok(**fields: Any) -> Dict[str, Any]:
+    return {"ok": True, **fields}
+
+
+def error(message: str, **fields: Any) -> Dict[str, Any]:
+    return {"ok": False, "error": message, **fields}
+
+
+def encode(payload: Dict[str, Any]) -> bytes:
+    """One wire frame: canonical JSONL, utf-8."""
+    return jsonl_line(payload).encode("utf-8")
+
+
+def decode(raw: bytes) -> Dict[str, Any]:
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"bad frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Dict[str, Any]:
+    """Read one request line; raises ProtocolError on garbage/overflow."""
+    try:
+        raw = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise ProtocolError(
+            f"request line exceeds {MAX_LINE_BYTES} bytes"
+        ) from None
+    if not raw:
+        raise ProtocolError("connection closed before a request arrived")
+    return decode(raw)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: Dict[str, Any]
+) -> None:
+    writer.write(encode(payload))
+    await writer.drain()

@@ -1,0 +1,155 @@
+"""Bounded priority queue with per-client fairness and backpressure.
+
+Ordering is two-level: lower ``priority`` numbers dispatch first (0 is the
+most urgent band), and *within* a band clients take strict round-robin
+turns — a client that dumps 50 jobs into band 1 cannot starve another
+client's single band-1 job, which waits at most one turn.  Within one
+client's entries, FIFO.
+
+Backpressure is explicit: the queue holds at most ``maxsize`` jobs and
+:meth:`put` raises :class:`QueueFull` instead of blocking, so the server
+can answer a submission with "come back in ~N seconds" rather than letting
+latency grow unboundedly.  ``force=True`` bypasses the bound — used only
+for journal replay on restart, where refusing previously-accepted work
+would turn a graceful drain into data loss.
+
+Single-consumer by design: one dispatcher task calls :meth:`get`; any
+number of connection handlers call :meth:`put`/:meth:`remove`.  All
+callers share the server's event loop, so plain dict/deque state needs no
+locks — only an :class:`asyncio.Event` to park the idle dispatcher.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from .jobs import JobRecord
+
+
+class QueueFull(Exception):
+    """The queue is at its depth bound; retry after ``retry_after`` seconds.
+
+    ``retry_after`` is the server's estimate (queued trial count times its
+    trial-duration EWMA over the worker count) — advisory, never a promise.
+    """
+
+    def __init__(self, depth: int, retry_after: float = 1.0):
+        super().__init__(
+            f"queue full ({depth} jobs); retry after {retry_after:.1f}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class FairPriorityQueue:
+    """Priority bands of per-client FIFO lanes with round-robin dispatch."""
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        #: priority -> client -> that client's jobs, oldest first.
+        self._lanes: Dict[int, Dict[str, Deque[JobRecord]]] = {}
+        #: priority -> client turn order (head takes the next dispatch).
+        self._rotation: Dict[int, Deque[str]] = {}
+        self._size = 0
+        self._available = asyncio.Event()
+
+    # -- producers ------------------------------------------------------
+    def put(
+        self, record: JobRecord, force: bool = False,
+        retry_after: float = 1.0,
+    ) -> None:
+        """Enqueue, or raise :class:`QueueFull` when at the bound."""
+        if not force and self._size >= self.maxsize:
+            raise QueueFull(self._size, retry_after)
+        band = self._lanes.setdefault(record.spec.priority, {})
+        client = record.spec.client
+        if client not in band:
+            band[client] = deque()
+            self._rotation.setdefault(record.spec.priority, deque()).append(client)
+        band[client].append(record)
+        self._size += 1
+        self._available.set()
+
+    def remove(self, job_id: str) -> Optional[JobRecord]:
+        """Pull a queued job out (cancel path); None if not queued."""
+        for priority, band in self._lanes.items():
+            for client, lane in band.items():
+                for record in lane:
+                    if record.job_id == job_id:
+                        lane.remove(record)
+                        self._discard_if_empty(priority, client)
+                        self._size -= 1
+                        if self._size == 0:
+                            self._available.clear()
+                        return record
+        return None
+
+    # -- the single consumer --------------------------------------------
+    async def get(self) -> JobRecord:
+        """Next job by (priority band, client round-robin, FIFO)."""
+        while True:
+            if self._size == 0:
+                self._available.clear()
+                await self._available.wait()
+            record = self._pop()
+            if record is not None:
+                return record
+
+    def _pop(self) -> Optional[JobRecord]:
+        for priority in sorted(self._lanes):
+            rotation = self._rotation.get(priority)
+            if not rotation:
+                continue
+            # The head client takes this turn and moves to the back; a
+            # client whose lane drained leaves the rotation entirely.
+            for _ in range(len(rotation)):
+                if not rotation:
+                    break
+                client = rotation[0]
+                lane = self._lanes[priority].get(client)
+                if lane:
+                    record = lane.popleft()
+                    rotation.rotate(-1)
+                    self._discard_if_empty(priority, client)
+                    self._size -= 1
+                    if self._size == 0:
+                        self._available.clear()
+                    return record
+                rotation.popleft()
+        return None
+
+    def _discard_if_empty(self, priority: int, client: str) -> None:
+        band = self._lanes.get(priority, {})
+        if client in band and not band[client]:
+            del band[client]
+            rotation = self._rotation.get(priority)
+            if rotation and client in rotation:
+                rotation.remove(client)
+        if not band:
+            self._lanes.pop(priority, None)
+            self._rotation.pop(priority, None)
+
+    # -- inspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def depth(self) -> int:
+        return self._size
+
+    def queued_trials(self) -> int:
+        """Total trials waiting — the unit retry-after estimates scale by."""
+        return sum(record.total_trials for record in self.snapshot())
+
+    def snapshot(self) -> List[JobRecord]:
+        """Every queued job, in no particular order (status/debug views)."""
+        return [
+            record
+            for band in self._lanes.values()
+            for lane in band.values()
+            for record in lane
+        ]

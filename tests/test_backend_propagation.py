@@ -1,0 +1,114 @@
+"""Scheduler-backend propagation into workers and provenance records.
+
+The scheduler default (``repro.sim.engine.DEFAULT_BACKEND``) is a
+module-level global, so a parent's ``set_default_backend()`` never reaches
+the fresh interpreters a process pool spawns.  These tests pin the fix:
+the sweep engine resolves the parent's default (or an explicit choice) at
+run time and ships it to every trial, and the manifest records what
+actually ran.
+"""
+
+import pytest
+
+from repro.experiments.campaign import CampaignRunner, CampaignSpec
+from repro.experiments.sweep import SweepEngine, _execute_trial
+from repro.serialization import to_dict
+from repro.sim import engine as sim_engine
+from repro.telemetry import build_manifest
+
+TINY = {"scenario": "office", "duration": 0.02}
+
+
+@pytest.fixture
+def restore_default_backend():
+    previous = sim_engine.DEFAULT_BACKEND
+    yield
+    sim_engine.set_default_backend(previous)
+
+
+class TestExecuteTrialBackend:
+    def test_backend_pin_is_restored_after_the_trial(
+        self, restore_default_backend
+    ):
+        sim_engine.set_default_backend("calendar")
+        _execute_trial("scenario", TINY, 0, None, backend="heap")
+        assert sim_engine.DEFAULT_BACKEND == "calendar"
+
+    def test_backend_none_leaves_default_untouched(
+        self, restore_default_backend
+    ):
+        sim_engine.set_default_backend("heap")
+        _execute_trial("scenario", TINY, 0, None, backend=None)
+        assert sim_engine.DEFAULT_BACKEND == "heap"
+
+    def test_backends_produce_identical_results(self):
+        heap, _, _ = _execute_trial("scenario", TINY, 3, None, backend="heap")
+        cal, _, _ = _execute_trial(
+            "scenario", TINY, 3, None, backend="calendar"
+        )
+        assert to_dict(heap) == to_dict(cal)
+
+
+class TestSweepEngineBackend:
+    def test_invalid_backend_rejected_eagerly(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown scheduler backend"):
+            SweepEngine(cache_dir=tmp_path, backend="wheel")
+
+    def test_pool_workers_run_the_parents_default(
+        self, tmp_path, restore_default_backend
+    ):
+        # Flip the parent default, run the pool path, and check the run
+        # is bitwise-identical to a serial run under the same default —
+        # the propagation guarantee the module global alone cannot give.
+        sim_engine.set_default_backend("heap")
+        pairs = [(TINY, 0), (TINY, 1)]
+        pooled = SweepEngine(
+            jobs=2, cache=False, cache_dir=tmp_path / "a"
+        ).run_pairs("scenario", pairs)
+        serial = SweepEngine(
+            jobs=1, cache=False, cache_dir=tmp_path / "b"
+        ).run_pairs("scenario", pairs)
+        assert [to_dict(r) for r in pooled.results] == \
+            [to_dict(r) for r in serial.results]
+
+    def test_explicit_backend_wins_over_default(
+        self, tmp_path, restore_default_backend
+    ):
+        sim_engine.set_default_backend("calendar")
+        run = SweepEngine(
+            cache=False, cache_dir=tmp_path, backend="heap"
+        ).run_pairs("scenario", [(TINY, 0)])
+        assert len(run.results) == 1
+        # The pin must not leak into the process default afterwards.
+        assert sim_engine.DEFAULT_BACKEND == "calendar"
+
+
+class TestManifestBackend:
+    def test_manifest_records_the_process_default(
+        self, restore_default_backend
+    ):
+        sim_engine.set_default_backend("heap")
+        assert build_manifest("scenario").backend == "heap"
+        sim_engine.set_default_backend("calendar")
+        assert build_manifest("scenario").backend == "calendar"
+
+    def test_manifest_records_an_explicit_backend(self):
+        assert build_manifest("scenario", backend="heap").backend == "heap"
+
+    def test_campaign_manifest_carries_the_backend(self, tmp_path):
+        spec = CampaignSpec(
+            name="backend-probe",
+            base=TINY,
+            seeds=(0,),
+        )
+        runner = CampaignRunner(
+            tmp_path / "camp", cache_dir=tmp_path / "cache",
+            quiet=True, backend="heap",
+        )
+        run = runner.run(spec)
+        assert run.complete
+        import json
+
+        manifest = json.loads(runner.manifest_path.read_text())
+        backends = {m["backend"] for m in manifest["shard_manifests"]}
+        assert backends == {"heap"}

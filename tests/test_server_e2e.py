@@ -1,0 +1,151 @@
+"""End-to-end acceptance test of ``repro serve`` as a real subprocess.
+
+Drives the whole advertised contract in one scenario: two clients
+submitting concurrently at different priorities, a duplicate-fingerprint
+submission served from cache without a worker slot, the queue rejecting
+beyond its bound with a retry-after hint, and SIGTERM during a running
+job draining gracefully with the interrupted job resumable on restart.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import Client, ServerError
+from repro.server import JobState
+from repro.server.journal import ServerJournal
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+TINY = {"scenario": "office", "duration": 0.02}
+SLOW = {"scenario": "office", "duration": 5.0}
+
+
+def _spawn_server(state_dir, cache, **options):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env["BICORD_SWEEP_CACHE"] = str(cache)
+    args = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--state-dir", str(state_dir), "--quiet",
+    ]
+    for name, value in options.items():
+        args += [f"--{name.replace('_', '-')}", str(value)]
+    return subprocess.Popen(
+        args, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def test_serve_full_contract(tmp_path):
+    state = tmp_path / "state"
+    cache = tmp_path / "cache"
+    proc = _spawn_server(
+        state, cache, workers="1", queue_depth="2", drain_grace="0.2",
+    )
+    try:
+        alice = Client.from_state_dir(state, retry_for=15.0,
+                                      client_name="alice")
+        bob = Client.from_state_dir(state, retry_for=5.0, client_name="bob")
+        assert alice.ping()["state"] == "serving"
+
+        # -- two clients submit concurrently at different priorities ----
+        submissions = {}
+
+        def submit(name, client, priority, seed):
+            submissions[name] = client.submit(
+                params=TINY, seeds=[seed], priority=priority
+            )
+
+        blocker = alice.submit(params=SLOW, seeds=[0, 1])
+        threads = [
+            threading.Thread(
+                target=submit, args=("low", alice, 5, 10)
+            ),
+            threading.Thread(
+                target=submit, args=("high", bob, 0, 11)
+            ),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert submissions["low"]["state"] == "queued"
+        assert submissions["high"]["state"] == "queued"
+
+        low = alice.wait(submissions["low"]["job_id"], timeout=120)
+        high = bob.wait(submissions["high"]["job_id"], timeout=120)
+        assert low["state"] == high["state"] == JobState.DONE
+        # Bob's priority-0 job left the queue before Alice's priority-5 one.
+        assert high["started_at"] < low["started_at"]
+
+        # -- duplicate fingerprint: served from cache, no worker slot ----
+        executed_before = alice.stats()["counters"]["server.trials_executed"]
+        dup = bob.submit(params=TINY, seeds=[10])  # alice's low job, again
+        assert dup["cached"] is True and dup["state"] == "done"
+        counters = alice.stats()["counters"]
+        assert counters["server.trials_executed"] == executed_before
+        assert counters["server.cache_hit_jobs"] == 1
+        assert len(bob.result(dup["job_id"])["results"]) == 1
+
+        # -- the queue rejects beyond its bound with retry-after --------
+        alice.wait(blocker["job_id"], timeout=120)
+        blocker2 = alice.submit(params=SLOW, seeds=[2, 3, 4])
+        _wait_running(alice, blocker2["job_id"])
+        fillers = [alice.submit(params=TINY, seeds=[20 + i]) for i in range(2)]
+        with pytest.raises(ServerError) as excinfo:
+            alice.submit(params=TINY, seeds=[99])
+        assert "queue full" in str(excinfo.value)
+        assert excinfo.value.retry_after > 0.0
+
+        # -- SIGTERM during the running job: graceful, resumable drain --
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+
+        replayed = {
+            r.job_id: r.state
+            for r in ServerJournal(state / "jobs.jsonl").replay()
+        }
+        # The interrupted job and the queued fillers all came back queued.
+        assert replayed[blocker2["job_id"]] == JobState.QUEUED
+        for filler in fillers:
+            assert replayed[filler["job_id"]] == JobState.QUEUED
+        # Terminal jobs survived as-is.
+        assert replayed[dup["job_id"]] == JobState.DONE
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    # -- restart: everything replays and completes -----------------------
+    proc2 = _spawn_server(state, cache, workers="1", queue_depth="2")
+    try:
+        carol = Client.from_state_dir(state, retry_for=15.0,
+                                      client_name="carol")
+        done = carol.wait(blocker2["job_id"], timeout=180)
+        assert done["state"] == JobState.DONE
+        assert done["done_trials"] == done["total_trials"] == 3
+        for filler in fillers:
+            assert carol.wait(filler["job_id"], timeout=120)["state"] == \
+                JobState.DONE
+        carol.shutdown()
+        assert proc2.wait(timeout=60) == 0
+    finally:
+        if proc2.poll() is None:
+            proc2.kill()
+            proc2.wait()
+
+
+def _wait_running(client, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if client.status(job_id)["state"] == JobState.RUNNING:
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never started running")

@@ -1,0 +1,257 @@
+"""Lifecycle tests for the in-process job server.
+
+The server runs its own asyncio loop in a background thread; every test
+talks to it exactly like an external client would (through
+:class:`repro.api.Client` over the loopback socket), so these cover the
+full protocol path — only SIGTERM delivery is left to the subprocess
+end-to-end test in ``test_server_e2e.py``.
+"""
+
+import asyncio
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.api import Client, ServerError
+from repro.experiments.sweep import SweepEngine
+from repro.server import JobServer, JobState, ServerConfig
+
+#: A trial that takes a few milliseconds of wall time.
+TINY = {"scenario": "office", "duration": 0.02}
+#: A trial slow enough (~0.5 s wall) to still be running when we poke it.
+SLOW = {"scenario": "office", "duration": 5.0}
+
+
+@contextmanager
+def running_server(tmp_path, **overrides):
+    options = dict(
+        state_dir=tmp_path / "state",
+        cache_dir=tmp_path / "cache",
+        workers=1,
+        queue_depth=2,
+        snapshot_interval=0.05,
+        drain_grace=10.0,
+    )
+    options.update(overrides)
+    server = JobServer(ServerConfig(**options))
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.serve()), daemon=True
+    )
+    thread.start()
+    client = Client.from_state_dir(
+        options["state_dir"], retry_for=10.0, client_name="test"
+    )
+    try:
+        yield server, client
+    finally:
+        try:
+            client.shutdown()
+        except (ServerError, ConnectionError, OSError):
+            pass
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "server thread failed to drain"
+
+
+def _wait_for_state(client, job_id, state, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = client.status(job_id)
+        if record["state"] == state:
+            return record
+        time.sleep(0.02)
+    raise TimeoutError(f"job {job_id} never reached {state}")
+
+
+class TestSubmitAndResult:
+    def test_job_runs_to_done_with_results(self, tmp_path):
+        with running_server(tmp_path) as (_, client):
+            job = client.submit(params=TINY, seeds=[0, 1])
+            assert job["state"] == "queued" and not job["cached"]
+            record = client.wait(job["job_id"], timeout=60)
+            assert record["state"] == JobState.DONE
+            assert record["done_trials"] == record["total_trials"] == 2
+            payload = client.result(job["job_id"])
+            assert len(payload["results"]) == 2
+            assert {row["seed"] for row in payload["results"]} == {0, 1}
+            for row in payload["results"]:
+                assert row["metrics"]["delivery_ratio"] >= 0.0
+
+    def test_result_of_unfinished_job_is_an_error(self, tmp_path):
+        with running_server(tmp_path) as (_, client):
+            job = client.submit(params=SLOW, seeds=[0])
+            with pytest.raises(ServerError) as excinfo:
+                client.result(job["job_id"])
+            assert "not done" in str(excinfo.value)
+            client.wait(job["job_id"], timeout=60)
+
+    def test_unknown_experiment_is_a_clean_error(self, tmp_path):
+        with running_server(tmp_path) as (_, client):
+            with pytest.raises(ServerError, match="unknown experiment"):
+                client.submit(experiment="nonsense", params={})
+
+    def test_duplicate_active_submission_deduplicates(self, tmp_path):
+        with running_server(tmp_path) as (_, client):
+            first = client.submit(params=SLOW, seeds=[0])
+            second = client.submit(params=SLOW, seeds=[0])
+            assert second["job_id"] == first["job_id"]
+            assert second["deduplicated"] is True
+            client.wait(first["job_id"], timeout=60)
+
+
+class TestCacheHitFastPath:
+    def test_cached_submission_never_touches_a_worker(self, tmp_path):
+        # Warm the cache out-of-band, exactly as a prior sweep would have.
+        engine = SweepEngine(cache_dir=tmp_path / "cache")
+        engine.run_pairs("scenario", [(TINY, 0), (TINY, 1)])
+
+        with running_server(tmp_path) as (_, client):
+            job = client.submit(params=TINY, seeds=[0, 1])
+            # Completed at submit time: no queue, no worker, no pool.
+            assert job["cached"] is True and job["state"] == "done"
+            record = client.status(job["job_id"])
+            assert record["from_cache"] is True
+            assert record["cached_hits"] == 2
+            counters = client.stats()["counters"]
+            assert counters.get("server.cache_hit_jobs") == 1
+            assert "server.pool_spawned" not in counters
+            assert "server.trials_executed" not in counters
+            # And the results are served straight from the cache.
+            payload = client.result(job["job_id"])
+            assert len(payload["results"]) == 2
+
+
+class TestBackpressureAndCancel:
+    def test_full_queue_rejects_with_retry_after(self, tmp_path):
+        with running_server(tmp_path, queue_depth=1) as (_, client):
+            blocker = client.submit(params=SLOW, seeds=[0, 1, 2])
+            _wait_for_state(client, blocker["job_id"], JobState.RUNNING)
+            queued = client.submit(params=TINY, seeds=[0])
+            assert queued["state"] == "queued"
+            with pytest.raises(ServerError) as excinfo:
+                client.submit(params=TINY, seeds=[1])
+            assert "queue full" in str(excinfo.value)
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after > 0.0
+            assert client.stats()["counters"]["server.rejections"] == 1
+            client.cancel(blocker["job_id"])
+            client.wait(blocker["job_id"], timeout=60)
+            client.wait(queued["job_id"], timeout=60)
+
+    def test_cancel_queued_job_is_immediate(self, tmp_path):
+        with running_server(tmp_path) as (_, client):
+            blocker = client.submit(params=SLOW, seeds=[0, 1])
+            _wait_for_state(client, blocker["job_id"], JobState.RUNNING)
+            queued = client.submit(params=TINY, seeds=[3])
+            response = client.cancel(queued["job_id"])
+            assert response["state"] == JobState.CANCELLED
+            record = client.status(queued["job_id"])
+            assert record["state"] == JobState.CANCELLED
+            assert record["done_trials"] == 0
+            client.cancel(blocker["job_id"])
+            client.wait(blocker["job_id"], timeout=60)
+
+    def test_cancel_running_job_stops_between_trials(self, tmp_path):
+        with running_server(tmp_path) as (_, client):
+            job = client.submit(params=SLOW, seeds=list(range(8)))
+            _wait_for_state(client, job["job_id"], JobState.RUNNING)
+            response = client.cancel(job["job_id"])
+            assert response["cancelling"] is True
+            record = client.wait(job["job_id"], timeout=60)
+            assert record["state"] == JobState.CANCELLED
+            # It stopped early: the in-flight trial finished, the rest never ran.
+            assert record["done_trials"] < record["total_trials"]
+
+    def test_cancel_terminal_job_is_an_error(self, tmp_path):
+        with running_server(tmp_path) as (_, client):
+            job = client.submit(params=TINY, seeds=[0])
+            client.wait(job["job_id"], timeout=60)
+            with pytest.raises(ServerError, match="already done"):
+                client.cancel(job["job_id"])
+
+
+class TestPriorityScheduling:
+    def test_high_priority_overtakes_low_within_the_queue(self, tmp_path):
+        with running_server(tmp_path, queue_depth=4) as (_, client):
+            low_client = Client(
+                client.host, client.port, client_name="low-roller"
+            )
+            high_client = Client(
+                client.host, client.port, client_name="vip"
+            )
+            blocker = client.submit(params=SLOW, seeds=[0, 1])
+            _wait_for_state(client, blocker["job_id"], JobState.RUNNING)
+            # Submitted first at low priority, second at high priority.
+            low = low_client.submit(params=TINY, seeds=[10], priority=5)
+            high = high_client.submit(params=TINY, seeds=[11], priority=0)
+            low_rec = client.wait(low["job_id"], timeout=60)
+            high_rec = client.wait(high["job_id"], timeout=60)
+            assert high_rec["started_at"] < low_rec["started_at"]
+
+
+class TestWatchStream:
+    def test_watch_streams_snapshots_until_end(self, tmp_path):
+        with running_server(tmp_path) as (_, client):
+            job = client.submit(params=SLOW, seeds=[0, 1, 2])
+            frames = list(client.watch(job["job_id"]))
+            kinds = [frame["type"] for frame in frames]
+            assert kinds[0] == "snapshot"
+            assert kinds[-1] == "end"
+            assert frames[-1]["state"] == JobState.DONE
+            # Snapshots carry live progress fields.
+            snap = frames[0]
+            assert {"done_trials", "total_trials", "cached_hits",
+                    "queue_depth"} <= set(snap)
+
+    def test_watch_of_finished_job_ends_immediately(self, tmp_path):
+        with running_server(tmp_path) as (_, client):
+            job = client.submit(params=TINY, seeds=[0])
+            client.wait(job["job_id"], timeout=60)
+            frames = list(client.watch(job["job_id"]))
+            assert [f["type"] for f in frames] == ["snapshot", "end"]
+
+    def test_watch_unknown_job_is_an_error(self, tmp_path):
+        with running_server(tmp_path) as (_, client):
+            with pytest.raises(ServerError, match="unknown job"):
+                list(client.watch("j99999-nope"))
+
+
+class TestDrainAndResume:
+    def test_drain_rejects_new_submissions(self, tmp_path):
+        with running_server(tmp_path) as (_, client):
+            job = client.submit(params=SLOW, seeds=[0, 1])
+            _wait_for_state(client, job["job_id"], JobState.RUNNING)
+            client.shutdown()
+            with pytest.raises((ServerError, ConnectionError)):
+                client.submit(params=TINY, seeds=[9])
+
+    def test_interrupted_jobs_resume_on_restart(self, tmp_path):
+        # Server 1: one running and one queued job, then a hard drain
+        # (grace shorter than a trial, so the running job is interrupted).
+        with running_server(
+            tmp_path, drain_grace=0.1, queue_depth=4
+        ) as (_, client):
+            running = client.submit(params=SLOW, seeds=[0, 1, 2, 3])
+            _wait_for_state(client, running["job_id"], JobState.RUNNING)
+            queued = client.submit(params=TINY, seeds=[7])
+            assert queued["state"] == "queued"
+
+        # Both jobs were journaled back to queued by the drain.
+        from repro.server.journal import ServerJournal
+
+        restored = {
+            r.job_id: r.state
+            for r in ServerJournal(tmp_path / "state" / "jobs.jsonl").replay()
+        }
+        assert restored[running["job_id"]] == JobState.QUEUED
+        assert restored[queued["job_id"]] == JobState.QUEUED
+
+        # Server 2 over the same state dir replays and finishes both;
+        # trials that completed before the drain come back as cache hits.
+        with running_server(tmp_path, queue_depth=4) as (_, client2):
+            done = client2.wait(running["job_id"], timeout=120)
+            assert done["state"] == JobState.DONE
+            assert done["total_trials"] == 4
+            other = client2.wait(queued["job_id"], timeout=120)
+            assert other["state"] == JobState.DONE
