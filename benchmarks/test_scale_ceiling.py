@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.phy.medium import set_default_medium_kernel
 from repro.scenarios import compile_scenario, get_scenario
 from repro.sim.engine import set_default_backend
 
@@ -37,29 +38,41 @@ N_WIFI_PAIRS = scaled(200)
 #: so the budget bounds a round to a few seconds).
 MAX_EVENTS = scaled(3000)
 
+KERNELS = ["legacy", "vector"]
 
-def _scale_run(backend: str):
-    previous = set_default_backend(backend)
+#: Radio-density axis: total radio counts for the kernel scaling curve.
+#: The grid generator places 2 radios per ZigBee link and 2 per Wi-Fi pair;
+#: the splits below keep 80% of the radios on ZigBee links at every density.
+DENSITIES = [50, 200, 800]
+MAX_EVENTS_DENSITY = scaled(1500)
+
+
+def _scale_run(backend: str, kernel=None,
+               n_zigbee=N_ZIGBEE_LINKS, n_wifi=N_WIFI_PAIRS,
+               max_events=MAX_EVENTS):
+    previous_backend = set_default_backend(backend)
+    previous_kernel = set_default_medium_kernel(kernel) if kernel else None
     try:
-        spec = get_scenario(
-            "grid",
-            n_zigbee_links=N_ZIGBEE_LINKS,
-            n_wifi_pairs=N_WIFI_PAIRS,
-        )
+        spec = get_scenario("grid", n_zigbee_links=n_zigbee, n_wifi_pairs=n_wifi)
         compiled = compile_scenario(spec, seed=7, trace_kinds=set())
         assert compiled.sim.backend_name == backend
-        result = compiled.run(max_events=MAX_EVENTS)
+        if kernel:
+            assert compiled.ctx.medium.kernel_name == kernel
+        result = compiled.run(max_events=max_events)
         return result.events_processed, compiled.sim.now
     finally:
-        set_default_backend(previous)
+        set_default_backend(previous_backend)
+        if previous_kernel:
+            set_default_medium_kernel(previous_kernel)
 
 
-def _report(emit, backend, benchmark, events, sim_seconds):
+def _report(emit, variant, benchmark, events, sim_seconds,
+            n_zigbee=N_ZIGBEE_LINKS, n_wifi=N_WIFI_PAIRS):
     wall = benchmark.stats.stats.mean
     emit(
-        f"scale_ceiling_{backend}",
-        f"scale ceiling ({backend}): {N_ZIGBEE_LINKS} zigbee links + "
-        f"{N_WIFI_PAIRS} wifi pairs, {events} events in {wall:.2f} s wall -> "
+        f"scale_ceiling_{variant}",
+        f"scale ceiling ({variant}): {n_zigbee} zigbee links + "
+        f"{n_wifi} wifi pairs, {events} events in {wall:.2f} s wall -> "
         f"{events / wall:.0f} events/s, realtime factor "
         f"{sim_seconds / wall:.5f}x ({sim_seconds * 1e3:.2f} ms simulated)",
     )
@@ -72,3 +85,45 @@ def test_scale_ceiling_backend(benchmark, emit, backend):
     )
     assert events == MAX_EVENTS  # the deployment saturates the budget
     _report(emit, backend, benchmark, events, sim_seconds)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_scale_ceiling_kernel(benchmark, emit, kernel):
+    """Both medium kernels at full density on the calendar backend.
+
+    These two rows are the like-for-like pair behind the vectorized kernel's
+    headline speedup: identical deployment, seed, backend, and event budget,
+    differing only in the Medium implementation.  The regression gate
+    (``check_throughput_regression.py``) divides them.
+    """
+    events, sim_seconds = benchmark.pedantic(
+        _scale_run, args=("calendar", kernel), rounds=1, iterations=1
+    )
+    assert events == MAX_EVENTS
+    _report(emit, f"kernel_{kernel}", benchmark, events, sim_seconds)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("radios", DENSITIES)
+def test_medium_density(benchmark, emit, radios, kernel):
+    """Events/s vs radio count, per kernel (the scaling curve itself).
+
+    The legacy kernel's broadcast is O(radios) python work per transmission,
+    so its events/s decays roughly linearly with density; the vectorized
+    kernel amortizes the per-radio work into array sweeps and notification
+    pruning, flattening the curve.  Tracking all six rows keeps the
+    crossover visible rather than just the dense endpoint.
+    """
+    n_zigbee = radios * 2 // 5
+    n_wifi = radios // 10
+    events, sim_seconds = benchmark.pedantic(
+        _scale_run,
+        args=("calendar", kernel),
+        kwargs={"n_zigbee": n_zigbee, "n_wifi": n_wifi,
+                "max_events": MAX_EVENTS_DENSITY},
+        rounds=1,
+        iterations=1,
+    )
+    assert events == MAX_EVENTS_DENSITY
+    _report(emit, f"density_{radios}_{kernel}", benchmark, events, sim_seconds,
+            n_zigbee=n_zigbee, n_wifi=n_wifi)

@@ -53,6 +53,7 @@ def build_context(
     trace_kinds: Optional[Set[str]] = None,
     faults: Optional[FaultPlan] = None,
     backend: Optional[str] = None,
+    medium_kernel: Optional[str] = None,
 ) -> SimContext:
     """Create a fully wired :class:`SimContext`.
 
@@ -64,6 +65,9 @@ def build_context(
     selects the scheduler backend (see
     :data:`repro.sim.engine.SCHEDULER_BACKENDS`); ``None`` uses the
     process-wide default set by :func:`repro.sim.engine.set_default_backend`.
+    ``medium_kernel`` likewise selects the medium implementation (see
+    :data:`repro.phy.medium.MEDIUM_KERNELS`); ``None`` uses the default set
+    by :func:`repro.phy.medium.set_default_medium_kernel`.
     """
     sim = Simulator(backend=backend)
     streams = RandomStreams(seed=seed)
@@ -73,9 +77,10 @@ def build_context(
         fading=fading or FadingModel(),
         streams=streams,
     )
-    medium = Medium(sim, channel, trace=trace)
+    registry = _telemetry.active()
+    medium = Medium(sim, channel, trace=trace, kernel=medium_kernel, telemetry=registry)
     return SimContext(
         sim=sim, streams=streams, trace=trace, channel=channel, medium=medium,
         faults=build_harness(faults, streams),
-        telemetry=_telemetry.active(),
+        telemetry=registry,
     )

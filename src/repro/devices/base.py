@@ -97,7 +97,7 @@ class Radio:
     ):
         self.name = name
         self.position = position
-        self.band = band
+        self._band = band
         self.technology = technology
         self.sim = sim
         self.streams = streams
@@ -105,7 +105,7 @@ class Radio:
         self.sensitivity_dbm = sensitivity_dbm
         self.noise_floor_dbm = thermal_noise_dbm(band.bandwidth_hz, noise_figure_db)
         self.medium: Optional[Medium] = None
-        self.mac: Any = None  # set by the MAC layer
+        self._mac: Any = None  # set by the MAC layer (see the ``mac`` property)
         self.energy_meter: Any = None  # optional; see repro.devices.energy
         self.enabled = True
         self.current_tx: Optional[Transmission] = None
@@ -118,6 +118,52 @@ class Radio:
         self.frames_received = 0
         self.frames_lost = 0
         self.tx_airtime = 0.0
+
+    # ------------------------------------------------------------------
+    # Tuning
+    # ------------------------------------------------------------------
+    @property
+    def band(self) -> Band:
+        """The current receive/transmit band.
+
+        Assigning a different :class:`Band` notifies the medium (see
+        :meth:`Medium.on_radio_retuned <repro.phy.medium.Medium.on_radio_retuned>`)
+        so kernels that precompute per-band tables can refresh them; prefer
+        the explicit :meth:`retune` in new code.
+        """
+        return self._band
+
+    @band.setter
+    def band(self, band: Band) -> None:
+        previous = getattr(self, "_band", None)
+        self._band = band
+        if band is not previous:
+            medium = getattr(self, "medium", None)
+            if medium is not None:
+                medium.on_radio_retuned(self)
+
+    def retune(self, band: Band) -> None:
+        """Switch to ``band`` (e.g. a BLE hop).  The noise floor is unchanged:
+        all modeled bands share a bandwidth per technology."""
+        self.band = band
+
+    @property
+    def mac(self) -> Any:
+        """The attached MAC layer.
+
+        Assigning notifies the medium (:meth:`Medium.on_radio_mac_changed
+        <repro.phy.medium.Medium.on_radio_mac_changed>`): kernels that skip
+        no-op medium-event notifications re-read the MAC's
+        ``medium_event_sensitive`` flag on every assignment.
+        """
+        return self._mac
+
+    @mac.setter
+    def mac(self, mac: Any) -> None:
+        self._mac = mac
+        medium = getattr(self, "medium", None)
+        if medium is not None:
+            medium.on_radio_mac_changed(self)
 
     # ------------------------------------------------------------------
     # Transmit path
@@ -178,7 +224,7 @@ class Radio:
             rx_dbm = self.medium.rx_power_dbm(tx, self)
             if rx_dbm >= self.sensitivity_dbm:
                 interference = self._current_interference_mw(tx.tx_id)
-                self._lock = _ReceptionContext(tx, rx_dbm, self.sim.now, interference)
+                self._set_lock(_ReceptionContext(tx, rx_dbm, self.sim.now, interference))
                 # Record any cross-technology transmissions already on the air.
                 for other in self.medium.active_transmissions():
                     if other.tx_id != tx.tx_id and other.source is not self:
@@ -209,16 +255,28 @@ class Radio:
                 self._lock.close_overlap(self.sim.now, tx)
         self._notify_mac()
 
+    def _set_lock(self, lock: Optional[_ReceptionContext]) -> None:
+        """Install/clear the reception lock, keeping the medium informed.
+
+        Kernels that skip no-op notifications track the locked set through
+        :meth:`Medium.on_radio_lock_changed
+        <repro.phy.medium.Medium.on_radio_lock_changed>`; every lock
+        transition must go through here.
+        """
+        self._lock = lock
+        if self.medium is not None:
+            self.medium.on_radio_lock_changed(self, lock is not None)
+
     def _abort_lock(self) -> None:
         if self._lock is None:
             return
         self.frames_lost += 1
-        self._lock = None
+        self._set_lock(None)
 
     def _finish_reception(self) -> None:
         context = self._lock
         assert context is not None
-        self._lock = None
+        self._set_lock(None)
         context.finalize(self.sim.now)
         frame = context.tx.frame
         noise_mw = dbm_to_mw(self.noise_floor_dbm)

@@ -38,6 +38,10 @@ DATA_CHANNELS = tuple(range(37))
 class _BleEndpoint:
     """Minimal MAC adapter connecting a radio to the connection object."""
 
+    #: BLE is TDMA: connection events are clock-driven, never re-planned on
+    #: medium activity, so notifications to an idle endpoint are no-ops.
+    medium_event_sensitive = False
+
     def __init__(self, connection: "BleConnection", role: str):
         self.connection = connection
         self.role = role
@@ -171,8 +175,8 @@ class BleConnection:
 
     def _tune(self, channel: int) -> None:
         band = ble_channel(channel)
-        self.master.band = band
-        self.slave.band = band
+        self.master.retune(band)
+        self.slave.retune(band)
 
     # ------------------------------------------------------------------
     # Connection events

@@ -30,7 +30,7 @@ from ..phy.medium import Technology
 from ..phy.modulation import WifiRate, wifi_rate
 from ..sim.engine import Event, Simulator
 from ..sim.trace import TraceRecorder
-from ..sim.units import dbm_to_mw, mw_to_dbm, usec
+from ..sim.units import mw_to_dbm, usec
 from .frames import BROADCAST, Frame, FrameType, wifi_ack_frame, wifi_cts_frame
 
 #: 802.11g OFDM MAC timings.
@@ -53,6 +53,10 @@ RETRY_LIMIT = 7
 
 class WifiMac:
     """DCF MAC bound to one Wi-Fi radio."""
+
+    #: DCF re-evaluates its pending backoff/transmit plan on every medium
+    #: event, so Wi-Fi radios must always be notified.
+    medium_event_sensitive = True
 
     def __init__(
         self,
@@ -175,19 +179,7 @@ class WifiMac:
         cacheable = min_age == 0.0
         if cacheable and self._sense_epoch == medium.state_epoch:
             return self._sense_busy
-        noise_mw = dbm_to_mw(radio.noise_floor_dbm)
-        wifi_mw = noise_mw
-        other_mw = noise_mw
-        for tx in medium.active_transmissions():
-            if tx.source is radio:
-                continue
-            if now - tx.start < min_age:
-                continue
-            captured = medium.captured_power_mw(tx, radio)
-            if tx.technology is Technology.WIFI:
-                wifi_mw += captured
-            else:
-                other_mw += captured
+        wifi_mw, other_mw = medium.cca_power_mw(radio, now, min_age)
         busy = (
             mw_to_dbm(wifi_mw) >= self.preamble_threshold_dbm
             or mw_to_dbm(other_mw) >= self.effective_ed_dbm

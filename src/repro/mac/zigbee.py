@@ -48,6 +48,11 @@ NO_ACK = "no_ack"
 class ZigbeeMac:
     """Unslotted CSMA/CA MAC bound to one ZigBee radio."""
 
+    #: ZigBee CCA is sampled at scheduled instants, never re-planned on
+    #: medium events (``on_medium_event`` is a no-op), so the medium may
+    #: skip this MAC's radio when nothing else needs the notification.
+    medium_event_sensitive = False
+
     def __init__(
         self,
         radio: Radio,
@@ -81,6 +86,9 @@ class ZigbeeMac:
         self._awaiting_ack = False
         self._forced_queue: Deque[Frame] = deque()
         self._rx_dedup: Dict[str, int] = {}
+        # Backoff stream, resolved once (streams.stream caches by name; this
+        # skips the f-string + dict probe on every CSMA backoff).
+        self._backoff_rng = radio.streams.stream(f"mac/zigbee/{radio.name}")
 
         # Client callbacks (set by the device / protocol layer).
         self.on_send_success: Optional[Callable[[Frame], None]] = None
@@ -207,8 +215,7 @@ class ZigbeeMac:
         self._backoff()
 
     def _backoff(self) -> None:
-        rng = self.radio.streams.stream(f"mac/zigbee/{self.radio.name}")
-        periods = int(rng.integers(0, 2**self._be))
+        periods = int(self._backoff_rng.integers(0, 2**self._be))
         delay = periods * UNIT_BACKOFF_S + CCA_S
         self._pending_event = self.sim.schedule(delay, self._after_cca)
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from .. import telemetry as _telemetry
 from ..sim.engine import Simulator
 from ..sim.trace import TraceRecorder
 from ..sim.units import dbm_to_mw, linear_to_db, mw_to_dbm
@@ -46,6 +47,51 @@ class Technology(Enum):
 #: the query cacheable per medium state epoch.
 WIFI_ONLY: FrozenSet[Technology] = frozenset((Technology.WIFI,))
 ZIGBEE_ONLY: FrozenSet[Technology] = frozenset((Technology.ZIGBEE,))
+
+
+# ----------------------------------------------------------------------
+# Medium kernels
+# ----------------------------------------------------------------------
+# Like the scheduler backends, the medium hot path has swappable
+# implementations behind one constructor: ``Medium(..., kernel="legacy")``
+# keeps the reference per-radio Python loops (the bitwise oracle), while
+# ``kernel="vector"`` dispatches to the struct-of-arrays kernel in
+# :mod:`repro.phy.medium_fast`.  Both produce bit-identical traces; see
+# ``tests/test_medium_equivalence.py``.
+MEDIUM_KERNELS: Tuple[str, ...] = ("legacy", "vector")
+
+#: Kernel used when ``Medium(...)`` is called without ``kernel=``.
+DEFAULT_MEDIUM_KERNEL = "vector"
+
+_KERNEL_CLASSES: Dict[str, type] = {}
+
+
+def register_medium_kernel(name: str, cls: type) -> None:
+    """Register a :class:`Medium` subclass under a kernel name."""
+    _KERNEL_CLASSES[name] = cls
+
+
+def set_default_medium_kernel(name: str) -> str:
+    """Set the process-wide default kernel; returns the previous default."""
+    global DEFAULT_MEDIUM_KERNEL
+    resolve_medium_kernel(name)  # validate eagerly
+    previous = DEFAULT_MEDIUM_KERNEL
+    DEFAULT_MEDIUM_KERNEL = name
+    return previous
+
+
+def resolve_medium_kernel(name: Optional[str] = None) -> type:
+    """The :class:`Medium` subclass implementing ``name`` (default kernel if None)."""
+    if name is None:
+        name = DEFAULT_MEDIUM_KERNEL
+    if name == "vector" and "vector" not in _KERNEL_CLASSES:
+        from . import medium_fast  # noqa: F401  (registers on import)
+    try:
+        return _KERNEL_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown medium kernel {name!r}; expected one of {MEDIUM_KERNELS}"
+        ) from None
 
 
 @dataclass(slots=True)
@@ -74,22 +120,57 @@ class Transmission:
 
 
 class Medium:
-    """Shared channel connecting all radios of a scenario."""
+    """Shared channel connecting all radios of a scenario.
+
+    ``Medium(...)`` is a dispatching constructor: the ``kernel`` argument (or
+    the process default, see :func:`set_default_medium_kernel`) selects the
+    implementation class, exactly like the scheduler's ``backend=``.  This
+    base class *is* the ``"legacy"`` kernel — straightforward per-radio
+    Python loops that serve as the bitwise oracle for faster kernels.
+    """
+
+    kernel_name = "legacy"
+
+    def __new__(
+        cls,
+        sim: Simulator,
+        channel: Channel,
+        trace: Optional[TraceRecorder] = None,
+        kernel: Optional[str] = None,
+        telemetry: Optional[_telemetry.MetricsRegistry] = None,
+    ):
+        if cls is Medium:
+            cls = resolve_medium_kernel(kernel)
+        return super().__new__(cls)
 
     def __init__(
         self,
         sim: Simulator,
         channel: Channel,
         trace: Optional[TraceRecorder] = None,
+        kernel: Optional[str] = None,
+        telemetry: Optional[_telemetry.MetricsRegistry] = None,
     ):
         self.sim = sim
         self.channel = channel
         self.trace = trace or TraceRecorder(enabled_kinds=set())
+        registry = telemetry if telemetry is not None else _telemetry.NULL
+        self.telemetry = registry
+        self._broadcasts = registry.counter("medium.broadcasts")
+        self._vector_links = registry.counter("medium.vector_links")
+        self._masked_radios = registry.counter("medium.masked_radios")
+        self._accumulator_resyncs = registry.counter("medium.accumulator_resyncs")
         self.radios: List[Any] = []
+        # Name-indexed view of ``radios`` (O(1) lookup and duplicate check);
+        # the list is kept for deterministic ordered iteration.
+        self._radio_index: Dict[str, Any] = {}
         self._active: Dict[int, Transmission] = {}
         self._tx_ids = itertools.count(1)
         # rx power of each active transmission at each attached radio, dBm.
         self._rx_power: Dict[Tuple[int, str], float] = {}
+        # Radio names with per-tx cache entries written, so ``_finish`` pops
+        # O(entries written) keys instead of looping over every radio.
+        self._tx_touched: Dict[int, set] = {}
         #: Bumped on every transmission start/end.  The in-band energy at any
         #: radio is **piecewise-constant between epochs**, which is what the
         #: segment-based RSSI capture and the per-epoch energy cache rely on.
@@ -113,16 +194,42 @@ class Medium:
     # ------------------------------------------------------------------
     def attach(self, radio: Any) -> None:
         """Register a radio.  The radio's ``medium`` attribute is set."""
-        if any(r.name == radio.name for r in self.radios):
+        if radio.name in self._radio_index:
             raise ValueError(f"duplicate radio name {radio.name!r}")
         self.radios.append(radio)
+        self._radio_index[radio.name] = radio
         radio.medium = self
 
     def radio_by_name(self, name: str) -> Any:
-        for radio in self.radios:
-            if radio.name == name:
-                return radio
-        raise KeyError(name)
+        try:
+            return self._radio_index[name]
+        except KeyError:
+            raise KeyError(name) from None
+
+    def on_radio_retuned(self, radio: Any) -> None:
+        """Hook called by :meth:`Radio.retune` when a radio's band changes.
+
+        The legacy kernel needs no action (its per-(tx, radio) caches store
+        the band they were computed for and recompute on mismatch); faster
+        kernels override this to refresh their band arrays.
+        """
+
+    def on_radio_mac_changed(self, radio: Any) -> None:
+        """Hook called when a radio's MAC layer is (re)assigned.
+
+        The legacy kernel notifies every radio on every transmission edge,
+        so it never needs to know; the vector kernel re-reads the MAC's
+        ``medium_event_sensitive`` flag to decide whether the radio can be
+        skipped when its notification would be a no-op.
+        """
+
+    def on_radio_lock_changed(self, radio: Any, locked: bool) -> None:
+        """Hook called on every reception-lock transition of ``radio``.
+
+        A locked radio must see every transmission edge (interference
+        segments, cross-technology overlap log), so kernels that prune
+        no-op notifications track the locked set through this hook.
+        """
 
     # ------------------------------------------------------------------
     # State epochs and energy observers
@@ -184,6 +291,8 @@ class Medium:
         )
         self._active[tx.tx_id] = tx
         self._tech_active[technology] += 1
+        self._broadcasts.inc()
+        touched = self._tx_touched[tx.tx_id] = set()
         for radio in self.radios:
             if radio is source:
                 continue
@@ -191,6 +300,7 @@ class Medium:
                 power_dbm, source.name, source.position, radio.name, radio.position
             )
             self._rx_power[(tx.tx_id, radio.name)] = rx_dbm
+            touched.add(radio.name)
         self._bump_state()
         self.trace.record(
             self.sim.now,
@@ -214,9 +324,11 @@ class Medium:
         for radio in self.radios:
             if radio is not tx.source:
                 radio.on_transmission_end(tx)
-        for radio in self.radios:
-            self._rx_power.pop((tx.tx_id, radio.name), None)
-            self._captured_mw.pop((tx.tx_id, radio.name), None)
+        # Only the names actually written at transmit/query time are popped —
+        # O(entries) instead of O(radios).
+        for name in self._tx_touched.pop(tx.tx_id, ()):
+            self._rx_power.pop((tx.tx_id, name), None)
+            self._captured_mw.pop((tx.tx_id, name), None)
         if tx.source is not None and hasattr(tx.source, "on_own_transmission_end"):
             tx.source.on_own_transmission_end(tx)
 
@@ -236,6 +348,9 @@ class Medium:
                 tx.power_dbm, tx.source_name, tx.source.position, radio.name, radio.position
             )
             self._rx_power[(tx.tx_id, radio.name)] = rx_dbm
+            touched = self._tx_touched.get(tx.tx_id)
+            if touched is not None:
+                touched.add(radio.name)
             return rx_dbm
 
     def captured_power_mw(self, tx: Transmission, radio: Any) -> float:
@@ -258,6 +373,9 @@ class Medium:
             value = dbm_to_mw(self.rx_power_dbm(tx, radio) + linear_to_db(fraction))
         if tx.tx_id in self._active:
             self._captured_mw[key] = (radio.band, value)
+            touched = self._tx_touched.get(tx.tx_id)
+            if touched is not None:
+                touched.add(radio.name)
         return value
 
     def interference_mw(
@@ -332,6 +450,36 @@ class Medium:
             total += captured * dilution
         return total
 
+    def cca_power_mw(
+        self,
+        radio: Any,
+        now: float,
+        min_age: float = 0.0,
+    ) -> Tuple[float, float]:
+        """Carrier-sense power buckets at ``radio``: ``(wifi_mw, other_mw)``.
+
+        Both buckets are seeded with the radio's noise floor and accumulate
+        the captured power of every active transmission at least ``min_age``
+        old (excluding the radio's own), split by whether the transmitter is
+        Wi-Fi.  This is the fold behind Wi-Fi preamble/energy detection
+        (``WifiMac._medium_busy``); it lives on the medium so faster kernels
+        can serve it from their accumulators.
+        """
+        noise_mw = dbm_to_mw(radio.noise_floor_dbm)
+        wifi_mw = noise_mw
+        other_mw = noise_mw
+        for tx in self._active.values():
+            if tx.source is radio:
+                continue
+            if now - tx.start < min_age:
+                continue
+            captured = self.captured_power_mw(tx, radio)
+            if tx.technology is Technology.WIFI:
+                wifi_mw += captured
+            else:
+                other_mw += captured
+        return wifi_mw, other_mw
+
     def inband_energy_dbm(
         self,
         radio: Any,
@@ -348,3 +496,6 @@ class Medium:
         transmissions instead of scanning the active set.
         """
         return self._tech_active[technology] > 0
+
+
+register_medium_kernel("legacy", Medium)

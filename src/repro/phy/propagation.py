@@ -146,6 +146,31 @@ class Channel:
         self._gain_cache[key] = (tx_pos, rx_pos, loss, shadow, self.position_epoch)
         return loss, shadow
 
+    def ensure_shadowing(self, tx_name: str, rx_names: list) -> None:
+        """Prefetch shadowing terms for ``tx_name`` toward ``rx_names``.
+
+        Draws exactly the values later :meth:`_shadowing_db` calls would (one
+        normal from each pair's dedicated stream), but batch-seeds the missing
+        streams first.  A no-op when shadowing is disabled.
+        """
+        if self.fading.shadowing_sigma_db <= 0.0:
+            return
+        missing = []
+        seen = set()
+        cache = self._shadowing_cache
+        for rx_name in rx_names:
+            key = (tx_name, rx_name) if tx_name <= rx_name else (rx_name, tx_name)
+            if key not in cache and key not in seen:
+                seen.add(key)
+                missing.append(key)
+        if not missing:
+            return
+        gens = self.streams.stream_many([f"shadowing/{a}|{b}" for a, b in missing])
+        for key, rng in zip(missing, gens):
+            self._shadowing_cache[key] = float(
+                rng.normal(0.0, self.fading.shadowing_sigma_db)
+            )
+
     def _shadowing_db(self, tx_name: str, rx_name: str) -> float:
         key = (tx_name, rx_name) if tx_name <= rx_name else (rx_name, tx_name)
         value = self._shadowing_cache.get(key)
@@ -170,16 +195,40 @@ class Channel:
         loss, shadow = self.link_budget(tx_name, tx_pos, rx_name, rx_pos)
         return tx_power_dbm - loss + shadow
 
-    def frame_fading_db(self, tx_name: str, rx_name: str) -> float:
-        """Draw the per-frame fading term for one (frame, link) pair."""
-        if self.fading.fading_sigma_db <= 0.0:
-            return 0.0
+    def fading_generator(self, tx_name: str, rx_name: str) -> Any:
+        """The per-link fading stream (created on first use, then cached)."""
         key = (tx_name, rx_name)
         rng = self._fading_streams.get(key)
         if rng is None:
             rng = self.streams.stream(f"fading/{tx_name}->{rx_name}")
             self._fading_streams[key] = rng
-        return float(rng.normal(0.0, self.fading.fading_sigma_db))
+        return rng
+
+    def ensure_fading_generators(self, tx_name: str, rx_names: list) -> list:
+        """Fading streams for ``tx_name`` toward every name in ``rx_names``.
+
+        Identical streams to per-link :meth:`fading_generator` calls, but
+        missing streams are batch-seeded (see ``RandomStreams.stream_many``),
+        which matters when a new transmitter lights up O(radios) links at once.
+        """
+        missing = [rx for rx in rx_names if (tx_name, rx) not in self._fading_streams]
+        if missing:
+            gens = self.streams.stream_many(
+                [f"fading/{tx_name}->{rx}" for rx in missing]
+            )
+            for rx, gen in zip(missing, gens):
+                self._fading_streams[(tx_name, rx)] = gen
+        return [self._fading_streams[(tx_name, rx)] for rx in rx_names]
+
+    def frame_fading_db(self, tx_name: str, rx_name: str) -> float:
+        """Draw the per-frame fading term for one (frame, link) pair."""
+        if self.fading.fading_sigma_db <= 0.0:
+            return 0.0
+        return float(
+            self.fading_generator(tx_name, rx_name).normal(
+                0.0, self.fading.fading_sigma_db
+            )
+        )
 
     def rx_power_dbm(
         self,

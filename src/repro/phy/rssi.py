@@ -180,8 +180,16 @@ class RssiSampler:
         bp_energy: List[float] = [self.radio.energy_dbm()]
 
         def _on_change() -> None:
-            bp_times.append(self.sim.now)
-            bp_energy.append(self.radio.energy_dbm())
+            # Several medium transitions can land on the same instant (a
+            # transmission ending exactly as another starts); only the last
+            # level at a given time is observable, so overwrite in place
+            # rather than growing the breakpoint list with dead entries.
+            now = self.sim.now
+            if bp_times[-1] == now:
+                bp_energy[-1] = self.radio.energy_dbm()
+            else:
+                bp_times.append(now)
+                bp_energy.append(self.radio.energy_dbm())
 
         if medium is not None:
             medium.add_energy_observer(_on_change)

@@ -68,6 +68,28 @@ def overlap_fraction(tx_band: Band, rx_band: Band) -> float:
     return min(1.0, overlap / tx_band.bandwidth_mhz)
 
 
+def overlap_profile(tx_band: Band, rx_low, rx_high, rx_bandwidth):
+    """Vectorized :func:`overlap_fraction` + decoding dilution for one tx band.
+
+    ``rx_low``/``rx_high``/``rx_bandwidth`` are parallel numpy arrays of
+    receiver band edges and widths.  Returns ``(fraction, dilution)`` where
+    ``fraction[j]`` equals ``overlap_fraction(tx_band, rx_band_j)`` and
+    ``dilution[j]`` equals ``min(1.0, overlapped_mhz / rx_bandwidth_j)`` — the
+    two per-pair spectrum weights used by the medium.  The arithmetic mirrors
+    the scalar helpers operation-for-operation (max/min chains on IEEE-754
+    doubles are exact elementwise), so results are bitwise-identical.
+    """
+    import numpy as np
+
+    overlap = np.maximum(
+        0.0, np.minimum(tx_band.high_mhz, rx_high) - np.maximum(tx_band.low_mhz, rx_low)
+    )
+    fraction = np.minimum(1.0, overlap / tx_band.bandwidth_mhz)
+    fraction[overlap <= 0.0] = 0.0
+    dilution = np.minimum(1.0, overlap / rx_bandwidth)
+    return fraction, dilution
+
+
 #: IEEE 802.11b/g/n channel centers (MHz) in the 2.4 GHz band, 20 MHz wide.
 WIFI_CHANNELS: Dict[int, Band] = {
     ch: Band(center_mhz=2412.0 + 5.0 * (ch - 1), bandwidth_mhz=20.0) for ch in range(1, 14)
