@@ -97,6 +97,9 @@ def main(argv=None) -> int:
             if "scale_ceiling_kernel" in name and speedup < 2.0:
                 marker = "  <-- WARNING: below the 2x dense-deployment target"
                 warned = True
+            elif "mobility_churn" in name and speedup < 1.5:
+                marker = "  <-- WARNING: below the 1.5x churn target"
+                warned = True
             print(f"  {name}: {speedup:.2f}x{marker}")
 
     if warned:

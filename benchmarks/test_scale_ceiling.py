@@ -26,8 +26,10 @@ from __future__ import annotations
 import pytest
 
 from repro.phy.medium import set_default_medium_kernel
+from repro.phy.propagation import Position
 from repro.scenarios import compile_scenario, get_scenario
 from repro.sim.engine import set_default_backend
+from repro.sim.process import Process
 
 from .conftest import scaled
 
@@ -101,6 +103,71 @@ def test_scale_ceiling_kernel(benchmark, emit, kernel):
     )
     assert events == MAX_EVENTS
     _report(emit, f"kernel_{kernel}", benchmark, events, sim_seconds)
+
+
+#: Mobility-churn axis: a moderate deployment driven for a fixed sim
+#: horizon while a platoon of ZigBee senders is batch-moved 0, 1, or 10
+#: times per simulated second.  Both kernels process a bitwise-identical
+#: event stream (moves only invalidate lazily-rebuilt link state), so the
+#: events/s rows are like-for-like and the regression gate can divide them.
+CHURN_ZIGBEE = scaled(60)
+CHURN_WIFI = scaled(8)
+CHURN_HORIZON = 1.0
+CHURN_RATES = [0, 1, 10]
+
+
+def _churn_run(kernel: str, moves_per_s: int):
+    previous_backend = set_default_backend("calendar")
+    previous_kernel = set_default_medium_kernel(kernel)
+    try:
+        spec = get_scenario(
+            "grid", n_zigbee_links=CHURN_ZIGBEE, n_wifi_pairs=CHURN_WIFI
+        )
+        compiled = compile_scenario(spec, seed=7, trace_kinds=set())
+        assert compiled.ctx.medium.kernel_name == kernel
+        movers = [
+            link.sender.radio for link in compiled.zigbee_links.values()
+        ][: max(4, CHURN_ZIGBEE // 4)]
+        if moves_per_s:
+            medium = compiled.ctx.medium
+
+            def churn():
+                step = 0
+                while True:
+                    yield 1.0 / moves_per_s
+                    step += 1
+                    dx = 0.5 if step % 2 else -0.5
+                    medium.move_many(
+                        (radio, Position(radio.position.x + dx, radio.position.y))
+                        for radio in movers
+                    )
+
+            Process(compiled.sim, churn(), name="churn")
+        # A huge cap keeps run() on the capped path (no grace drain) while
+        # the sim horizon, not the budget, ends the run.
+        result = compiled.run(until=CHURN_HORIZON, max_events=10**9)
+        return result.events_processed, compiled.sim.now
+    finally:
+        set_default_backend(previous_backend)
+        set_default_medium_kernel(previous_kernel)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("moves", CHURN_RATES)
+def test_mobility_churn(benchmark, emit, moves, kernel):
+    """Events/s under batched topology churn (0/1/10 moves per sim second).
+
+    The 0-row is the static control; the 10-row is the roaming regime.  The
+    gap between a kernel's own 0- and 10-rows prices its invalidation path
+    (epoch bump + lazy row rebuilds), and the vector/legacy ratio at 10
+    moves/s is gated >= 1.5x by ``check_throughput_regression.py``.
+    """
+    events, sim_seconds = benchmark.pedantic(
+        _churn_run, args=(kernel, moves), rounds=1, iterations=1
+    )
+    assert events > 0
+    _report(emit, f"mobility_churn_{moves}_{kernel}", benchmark, events,
+            sim_seconds, n_zigbee=CHURN_ZIGBEE, n_wifi=CHURN_WIFI)
 
 
 @pytest.mark.parametrize("kernel", KERNELS)

@@ -30,3 +30,13 @@ def test_library_scenario_smoke(name):
     summary = result.summary()
     assert 0.0 <= summary["delivery_ratio"] <= 1.0
     assert 0.0 <= summary["utilization"] <= 1.5  # airtime ratio, loosely bounded
+
+
+def test_campus_roaming_produces_handoffs():
+    """The roaming scenarios aren't just compilable — run uncapped, the
+    campus walk must actually cross an AP boundary and record the handoff."""
+    spec = get_scenario("campus-roaming")
+    result = compile_scenario(spec, seed=0).run()
+    assert result.extra["roam_handoffs"] >= 1
+    assert result.extra["roam_gap_ms"] > 0
+    assert result.wifi["ped"].delivered > 0  # uplink survived the handoffs

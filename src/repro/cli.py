@@ -311,6 +311,15 @@ def _run_scenario(
     ]
     if wifi_rows:
         _print("wifi links", wifi_rows, headers=("link", "sent", "delivered", "prr"))
+    if "roam_handoffs" in result.extra:
+        _print(
+            "roaming",
+            [[result.extra.get("roam_handoffs", 0.0),
+              result.extra.get("roam_pingpongs", 0.0),
+              result.extra.get("roam_scans", 0.0),
+              result.extra.get("roam_gap_ms", 0.0)]],
+            headers=("handoffs", "pingpongs", "scans", "gap (ms)"),
+        )
     print(f"spec fingerprint: {result.spec_fingerprint}")
     if registry is not None:
         _emit_telemetry(
@@ -735,6 +744,60 @@ def cmd_robustness(args: argparse.Namespace) -> int:
             seeds=_seed_range(args), wall_time=run.elapsed,
             headline={f"prr@{p['rate']:g}": p["prr_mean"] for p in points},
             extra={"dimension": args.dimension, "rates": rates},
+        )
+    return 0
+
+
+def cmd_roaming(args: argparse.Namespace) -> int:
+    from .experiments import roaming_curve
+
+    speeds = [float(s) for s in args.speeds.split(",") if s != ""]
+    n_aps = [int(n) for n in args.aps.split(",") if n != ""]
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    if not speeds or not n_aps or not schemes:
+        print("error: --speeds, --aps and --schemes must be non-empty",
+              file=sys.stderr)
+        return 2
+    base: Dict[str, Any] = {"scenario": args.scenario, "policy": args.policy}
+    if args.duration is not None:
+        base["duration"] = args.duration
+    points, run = roaming_curve(
+        speeds=speeds,
+        n_aps=n_aps,
+        schemes=schemes,
+        seeds=tuple(_seed_range(args)),
+        base=base,
+        engine=_make_engine(args),
+        return_run=True,
+    )
+    rows = [
+        [
+            point["speed_mps"], float(point["n_aps"]), point["scheme"],
+            point["handoffs_mean"], point["pingpongs_mean"],
+            point["gap_ms_mean"], point["wifi_prr_mean"], point["prr_mean"],
+            point["mean_delay"] * 1e3,
+        ]
+        for point in points
+    ]
+    _print(
+        f"roaming: {args.scenario} under {args.policy!r} "
+        f"({args.seeds} seed(s) per point)",
+        rows,
+        headers=("speed (m/s)", "APs", "scheme", "handoffs", "pingpongs",
+                 "gap (ms)", "wifi prr", "zigbee prr", "mean delay (ms)"),
+    )
+    print(_sweep_stats_line(run))
+    if args.metrics_out:
+        _emit_telemetry(
+            args, "roaming", snapshot=run.telemetry,
+            config={"speeds": speeds, "n_aps": n_aps, "schemes": schemes, **base},
+            seeds=_seed_range(args), wall_time=run.elapsed,
+            headline={
+                f"handoffs@{p['speed_mps']:g}x{p['n_aps']}/{p['scheme']}":
+                    p["handoffs_mean"]
+                for p in points
+            },
+            extra={"scenario": args.scenario, "policy": args.policy},
         )
     return 0
 
@@ -1210,6 +1273,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-inject a library scenario instead of the "
                         "standard coexistence workload")
     p.set_defaults(func=cmd_robustness)
+
+    p = sub.add_parser(
+        "roaming",
+        parents=shared,
+        help="multi-AP handoff churn vs coexistence quality",
+        description="Sweep client speed x AP density x scheme over a "
+                    "roaming scenario and report handoff counts, ping-pongs, "
+                    "connectivity gap, and the coexistence metrics.",
+    )
+    p.add_argument("--scenario",
+                   choices=("vehicular-corridor", "campus-roaming"),
+                   default="vehicular-corridor")
+    p.add_argument("--speeds", default="1.5,5,15",
+                   help="comma-separated client speeds in m/s")
+    p.add_argument("--aps", default="2,4",
+                   help="comma-separated AP counts (>= 2)")
+    p.add_argument("--schemes", default="bicord,csma",
+                   help="comma-separated coordination schemes")
+    p.add_argument("--policy", default="strongest-rssi",
+                   help="AP-selection policy (strongest-rssi, sticky)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="override the scenario duration in seconds")
+    p.set_defaults(func=cmd_roaming)
 
     p = sub.add_parser(
         "sweep",

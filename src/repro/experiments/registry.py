@@ -57,6 +57,7 @@ from .runner import (
 )
 from .metrics import CoexistenceResult
 from .result import check_result_contract
+from .roaming import RoamingResult, RoamingTrialConfig, run_roaming_trial
 from .robustness import RobustnessResult, RobustnessTrialConfig, run_robustness_trial
 from .scenario import ScenarioResult, ScenarioTrialConfig, run_scenario_trial
 from .topology import Calibration
@@ -262,6 +263,14 @@ register(ExperimentSpec(
     result_cls=ScenarioResult,
     description="run any library scenario (repro.scenarios) by name",
     aliases=("scenarios",),
+))
+register(ExperimentSpec(
+    name="roaming",
+    runner=run_roaming_trial,
+    config_cls=RoamingTrialConfig,
+    result_cls=RoamingResult,
+    description="multi-AP handoff churn vs coexistence quality (mobility)",
+    aliases=("roam",),
 ))
 register(ExperimentSpec(
     name="ble",

@@ -34,12 +34,14 @@ class FrameType(Enum):
     CTS = "cts"  # CTS-to-self: reserves the channel (NAV) for its duration field
     CONTROL = "control"  # BiCord cross-technology signaling packet
     CTC_NOTIFY = "ctc_notify"  # ECC's white-space announcement (emulated CTC)
+    MGMT = "mgmt"  # Wi-Fi management (reassociation during roaming)
 
 
 #: MAC overhead added to the payload to form the MPDU.
 WIFI_MAC_OVERHEAD_BYTES = 28  # 24 B header + 4 B FCS
 WIFI_ACK_MPDU_BYTES = 14
 WIFI_CTS_MPDU_BYTES = 14
+WIFI_MGMT_MPDU_BYTES = 28  # header-only management frame (reassoc request)
 ZIGBEE_MAC_OVERHEAD_BYTES = 11  # 9 B header + 2 B FCS (short addressing)
 ZIGBEE_ACK_MPDU_BYTES = 5
 
@@ -141,6 +143,31 @@ def wifi_cts_frame(source: str, nav_duration: float, rate: WifiRate, **meta: Any
         mpdu_bytes=WIFI_CTS_MPDU_BYTES,
         rate=rate,
         meta=fields,
+    )
+
+
+def wifi_mgmt_frame(
+    source: str,
+    destination: str,
+    rate: WifiRate,
+    created_at: float = 0.0,
+    **meta: Any,
+) -> Frame:
+    """A minimal Wi-Fi management frame (reassociation during a handoff).
+
+    Sent at the basic rate like control traffic; it is not ACKed and does
+    not count toward the MAC's DATA statistics, so roaming overhead stays
+    visible as airtime without polluting per-link delivery metrics.
+    """
+    return Frame(
+        FrameType.MGMT,
+        Technology.WIFI,
+        source,
+        destination,
+        mpdu_bytes=WIFI_MGMT_MPDU_BYTES,
+        rate=rate,
+        created_at=created_at,
+        meta=dict(meta),
     )
 
 

@@ -1,0 +1,46 @@
+"""Mobility subsystem: trajectory models, roaming clients, AP selection.
+
+Two halves, both consumed by the scenario compiler and usable directly:
+
+* :mod:`.trajectory` — time-parameterized paths (explicit waypoints,
+  seeded random-waypoint) plus :class:`TrajectoryProcess`, which applies
+  them to radios through :meth:`repro.phy.medium.Medium.move_many` at a
+  fixed tick (one channel invalidation per tick, however many radios move);
+* :mod:`.roaming` — per-client multi-AP association state with pluggable
+  :class:`APSelectionPolicy` implementations, handoff-gap accounting as
+  MAC events, and ``roam.*`` telemetry counters.
+"""
+
+from .roaming import (
+    AP_SELECTION_POLICIES,
+    APReading,
+    APSelectionPolicy,
+    RoamingClient,
+    StickyPolicy,
+    StrongestRssiPolicy,
+    ap_selection_policy_names,
+    make_ap_selection_policy,
+    register_ap_selection_policy,
+)
+from .trajectory import (
+    RandomWaypointTrajectory,
+    Trajectory,
+    TrajectoryProcess,
+    WaypointTrajectory,
+)
+
+__all__ = [
+    "AP_SELECTION_POLICIES",
+    "APReading",
+    "APSelectionPolicy",
+    "RandomWaypointTrajectory",
+    "RoamingClient",
+    "StickyPolicy",
+    "StrongestRssiPolicy",
+    "Trajectory",
+    "TrajectoryProcess",
+    "WaypointTrajectory",
+    "ap_selection_policy_names",
+    "make_ap_selection_policy",
+    "register_ap_selection_policy",
+]

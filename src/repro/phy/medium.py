@@ -160,6 +160,11 @@ class Medium:
         self._vector_links = registry.counter("medium.vector_links")
         self._masked_radios = registry.counter("medium.masked_radios")
         self._accumulator_resyncs = registry.counter("medium.accumulator_resyncs")
+        # Link-state rows rebuilt after a position-epoch advance.  The legacy
+        # kernel keeps no per-source rows, so it never increments this; the
+        # vector kernel counts every row rebuild, making topology-churn cost
+        # visible (see ``move_many``).
+        self._link_rows_rebuilt = registry.counter("medium.link_rows_rebuilt")
         self.radios: List[Any] = []
         # Name-indexed view of ``radios`` (O(1) lookup and duplicate check);
         # the list is kept for deterministic ordered iteration.
@@ -205,6 +210,24 @@ class Medium:
             return self._radio_index[name]
         except KeyError:
             raise KeyError(name) from None
+
+    def move_many(self, moves: Iterable[Tuple[Any, Any]]) -> None:
+        """Relocate several radios with a single gain invalidation.
+
+        Equivalent to calling :meth:`~repro.devices.base.Radio.move_to` on
+        each ``(radio, position)`` pair, but the channel's position epoch
+        advances **once** for the whole batch instead of once per radio.
+        Link-state rebuilds are lazy in every kernel (they happen on the
+        next transmission that consults a stale row), so batching a
+        trajectory tick's N moves costs one epoch bump and at most one
+        rebuild per active source — not N.
+        """
+        moved = 0
+        for radio, position in moves:
+            radio.position = position
+            moved += 1
+        if moved:
+            self.channel.invalidate_gains()
 
     def on_radio_retuned(self, radio: Any) -> None:
         """Hook called by :meth:`Radio.retune` when a radio's band changes.

@@ -289,6 +289,11 @@ class VectorMedium(Medium):
             and row.src_pos is source.position
         ):
             return row
+        if row is not None:
+            # A true rebuild (stale epoch/position/size), not a first build:
+            # this is the per-source cost of topology churn that
+            # ``Medium.move_many`` batches down to one epoch advance.
+            self._link_rows_rebuilt.inc()
         # Identity check: an emitter sharing a name with a radio must not
         # cause that radio to be skipped (legacy skips by object identity).
         idx = self._index_of.get(name)

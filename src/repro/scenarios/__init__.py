@@ -6,9 +6,9 @@ coordination scheme, mobility, and an optional fault plan; the compiler
 builds a ready simulation from spec + seed; procedural generators emit
 dense deployments; and a registry exposes a built-in library (office,
 smart-home, dense-office, mobile-workshop, priority-streaming, grid,
-random-uniform, clustered) to the experiment registry, the sweep engine
-(cache keyed on the spec fingerprint), and the CLI
-(``repro scenario list|describe|run``).
+random-uniform, clustered, vehicular-corridor, campus-roaming) to the
+experiment registry, the sweep engine (cache keyed on the spec
+fingerprint), and the CLI (``repro scenario list|describe|run``).
 """
 
 from ..experiments.scenario import (
@@ -23,32 +23,40 @@ from .generators import TRAFFIC_PROFILES, clustered, grid, random_uniform
 from .library import (
     SCENARIOS,
     ScenarioEntry,
+    campus_roaming,
     get_scenario,
     get_scenario_entry,
     register_scenario,
     scenario_names,
+    vehicular_corridor,
 )
 from .spec import (
     BACKENDS,
+    TRAJECTORY_MODELS,
+    ApSpec,
     BurstTrafficSpec,
     CoordinatorSpec,
     MobilitySpec,
+    RoamingSpec,
     ScenarioSpec,
     SpecError,
     WifiLinkSpec,
     WifiTrafficSpec,
     ZigbeeLinkSpec,
     load_spec,
+    round_position,
     spec_from_dict,
 )
 
 __all__ = [
+    "ApSpec",
     "BACKENDS",
     "BurstTrafficSpec",
     "CompiledScenario",
     "CoordinatorSpec",
     "LinkResult",
     "MobilitySpec",
+    "RoamingSpec",
     "SCENARIOS",
     "ScenarioEntry",
     "ScenarioResult",
@@ -56,10 +64,12 @@ __all__ = [
     "ScenarioTrialConfig",
     "SpecError",
     "TRAFFIC_PROFILES",
+    "TRAJECTORY_MODELS",
     "WifiLinkResult",
     "WifiLinkSpec",
     "WifiTrafficSpec",
     "ZigbeeLinkSpec",
+    "campus_roaming",
     "clustered",
     "compile_scenario",
     "get_scenario",
@@ -68,7 +78,9 @@ __all__ = [
     "load_spec",
     "random_uniform",
     "register_scenario",
+    "round_position",
     "run_scenario_trial",
     "scenario_names",
     "spec_from_dict",
+    "vehicular_corridor",
 ]

@@ -44,6 +44,13 @@ from ..experiments.topology import (
     location_powermap,
 )
 from ..faults.presets import get_fault_plan
+from ..mobility import (
+    RandomWaypointTrajectory,
+    RoamingClient,
+    TrajectoryProcess,
+    WaypointTrajectory,
+    make_ap_selection_policy,
+)
 from ..phy.propagation import Position
 from ..serialization import stable_hash
 from ..sim.process import Process
@@ -89,6 +96,9 @@ class CompiledScenario:
         zigbee_links: Dict[str, _ZigbeeLinkRuntime],
         coordinator: Any,
         probe: AirtimeProbe,
+        ap_devices: Optional[List[WifiDevice]] = None,
+        roaming: Optional[RoamingClient] = None,
+        mobility_process: Optional[TrajectoryProcess] = None,
     ):
         self.spec = spec
         self.seed = seed
@@ -97,6 +107,9 @@ class CompiledScenario:
         self.zigbee_links = zigbee_links
         self.coordinator = coordinator
         self.probe = probe
+        self.ap_devices = list(ap_devices or [])
+        self.roaming = roaming
+        self.mobility_process = mobility_process
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -116,6 +129,9 @@ class CompiledScenario:
                 return link.sender
             if link.receiver.name == name:
                 return link.receiver
+        for ap in self.ap_devices:
+            if ap.name == name:
+                return ap
         raise KeyError(f"no device named {name!r} in scenario {self.spec.name!r}")
 
     # ------------------------------------------------------------------
@@ -161,6 +177,10 @@ class CompiledScenario:
         for link in self.wifi_links.values():
             if link.source is not None:
                 link.source.stop()
+        if self.roaming is not None:
+            self.roaming.stop()
+        if self.mobility_process is not None:
+            self.mobility_process.stop()
 
         links: Dict[str, LinkResult] = {}
         for name, link in self.zigbee_links.items():
@@ -214,6 +234,11 @@ class CompiledScenario:
                     getattr(self.coordinator, "whitespace", 0.0),
                 )
             )
+        if self.roaming is not None:
+            result.extra["roam_handoffs"] = float(self.roaming.handoffs)
+            result.extra["roam_pingpongs"] = float(self.roaming.pingpongs)
+            result.extra["roam_scans"] = float(self.roaming.scans)
+            result.extra["roam_gap_ms"] = self.roaming.gap_ms
         if ctx.faults is not None:
             result.extra.update(ctx.faults.counters())
             registry.record_faults(ctx.faults)
@@ -324,6 +349,21 @@ def compile_scenario(
         )
         zigbee_links[zl.name] = _ZigbeeLinkRuntime(zl, sender, receiver)
 
+    # Candidate APs for roaming (generic backend only, enforced by
+    # validate()).  They carry no traffic source of their own; the roaming
+    # client retargets the serving link's uplink at whichever AP it joins.
+    ap_devices: List[WifiDevice] = []
+    for ap in spec.aps:
+        ap_devices.append(
+            WifiDevice(
+                ctx, ap.name, Position(*ap.pos),
+                channel=_resolve(ap.channel, cal.wifi_channel),
+                tx_power_dbm=_resolve(ap.tx_power_dbm, cal.wifi_tx_power_dbm),
+                data_rate_mbps=_resolve(ap.data_rate_mbps, cal.wifi_rate_mbps),
+                nonwifi_ed_penalty_db=cal.nonwifi_ed_penalty_db,
+            )
+        )
+
     # ------------------------------------------------------------------
     # Wi-Fi traffic
     # ------------------------------------------------------------------
@@ -418,6 +458,7 @@ def compile_scenario(
     # ------------------------------------------------------------------
     # Mobility
     # ------------------------------------------------------------------
+    mobility_process: Optional[TrajectoryProcess] = None
     if spec.mobility.kind == "person":
         csi = wifi_links[person_link].receiver.csi
         rng = ctx.streams.stream("mobility/person")
@@ -445,6 +486,63 @@ def compile_scenario(
                 yield 0.1
 
         Process(ctx.sim, wander(), name="device-mobility")
+    elif spec.mobility.kind == "trajectory":
+        m = spec.mobility
+        target = spec.trajectory_link()
+        mover = (
+            wifi_links[target].sender
+            if target in wifi_links
+            else zigbee_links[target].sender
+        )
+        if m.model == "waypoint":
+            trajectory = WaypointTrajectory(
+                m.waypoints,
+                speed_mps=m.speed_mps,
+                leg_speeds=m.leg_speeds,
+                loop=m.loop,
+            )
+        else:  # random-waypoint
+            trajectory = RandomWaypointTrajectory(
+                area=m.area,
+                speed_mps=m.speed_mps,
+                pause=m.pause,
+                seed=m.rw_seed,
+                origin=m.origin,
+            )
+        mobility_process = TrajectoryProcess(
+            ctx, [mover.radio], trajectory, tick=m.tick,
+            name=f"trajectory/{target}",
+        )
+
+    # ------------------------------------------------------------------
+    # Roaming client
+    # ------------------------------------------------------------------
+    roaming: Optional[RoamingClient] = None
+    if spec.aps:
+        r = spec.roaming
+        roaming_name = spec.roaming_link()
+        client_link = wifi_links[roaming_name]
+        policy = make_ap_selection_policy(
+            r.policy, hysteresis_db=r.hysteresis_db, min_rssi_dbm=r.min_rssi_dbm
+        )
+        client_source = client_link.source
+
+        def on_associate(ap_name: str) -> None:
+            # Retarget the client's uplink traffic at the serving AP.
+            if client_source is not None:
+                client_source.destination = ap_name
+
+        roaming = RoamingClient(
+            ctx,
+            client_link.sender,
+            [client_link.receiver] + ap_devices,
+            policy,
+            scan_interval=r.scan_interval,
+            handoff_gap=r.handoff_gap,
+            pingpong_window=r.pingpong_window,
+            on_associate=on_associate,
+            name=roaming_name,
+        )
 
     probe = AirtimeProbe(
         wifi_radios=[
@@ -467,4 +565,7 @@ def compile_scenario(
         zigbee_links=zigbee_links,
         coordinator=coordinator,
         probe=probe,
+        ap_devices=ap_devices,
+        roaming=roaming,
+        mobility_process=mobility_process,
     )

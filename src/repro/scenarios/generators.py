@@ -27,6 +27,7 @@ from .spec import (
     ScenarioSpec,
     WifiLinkSpec,
     ZigbeeLinkSpec,
+    round_position,
 )
 
 #: Per-link traffic archetypes cycled by ``traffic_mix="mixed"``:
@@ -39,8 +40,9 @@ TRAFFIC_PROFILES: Tuple[BurstTrafficSpec, ...] = (
 TRAFFIC_MIXES = ("uniform", "mixed")
 
 
-def _round_pos(x: float, y: float) -> Tuple[float, float]:
-    return (round(float(x), 3), round(float(y), 3))
+#: Placement rounding is the spec-wide convention — trajectory waypoints and
+#: AP sites round through the same function (fingerprint stability).
+_round_pos = round_position
 
 
 def _zigbee_link(

@@ -24,9 +24,11 @@ from typing import Callable, Dict, Optional, Tuple
 from ..experiments.topology import LOCATIONS, ZIGBEE_RECEIVER_OFFSET
 from . import generators
 from .spec import (
+    ApSpec,
     BurstTrafficSpec,
     CoordinatorSpec,
     MobilitySpec,
+    RoamingSpec,
     ScenarioSpec,
     WifiLinkSpec,
     WifiTrafficSpec,
@@ -331,6 +333,165 @@ def priority_streaming(
     )
 
 
+def vehicular_corridor(
+    speed_mps: float = 15.0,
+    n_aps: int = 4,
+    ap_spacing: float = 30.0,
+    scheme: str = "bicord",
+    policy: str = "strongest-rssi",
+    hysteresis_db: float = 4.0,
+    scan_interval: float = 0.25,
+    handoff_gap: float = 30e-3,
+    tick: float = 0.05,
+    wifi_interval: Optional[float] = None,
+    duration: Optional[float] = None,
+) -> ScenarioSpec:
+    """A vehicle driving past a row of roadside APs at ``ap_spacing`` m.
+
+    The client ``CAR`` traverses the corridor once at ``speed_mps``; APs
+    sit 6 m off the road.  Each AP boundary crossing forces a handoff, so
+    handoff count scales with ``n_aps`` and handoff *rate* with speed —
+    the two axes of the ``roaming`` sweep.  A roadside ZigBee link halfway
+    down the corridor feels the churn through white-space estimation.
+    """
+    if n_aps < 2:
+        raise ValueError(f"vehicular-corridor needs >= 2 APs, got {n_aps}")
+    if speed_mps <= 0:
+        raise ValueError(f"speed_mps must be > 0, got {speed_mps}")
+    if ap_spacing <= 0:
+        raise ValueError(f"ap_spacing must be > 0, got {ap_spacing}")
+    end = (n_aps - 1) * ap_spacing
+    start_x, stop_x = -4.0, end + 4.0
+    if duration is None:
+        duration = round((stop_x - start_x) / speed_mps, 3)
+    mid = end / 2.0
+    return ScenarioSpec(
+        name="vehicular-corridor",
+        description=(
+            f"Vehicle at {speed_mps} m/s past {n_aps} roadside APs "
+            f"every {ap_spacing} m under the {policy!r} policy"
+        ),
+        duration=duration,
+        backend="generic",
+        wifi=(
+            WifiLinkSpec(
+                name="car",
+                sender="CAR",
+                receiver="AP0",
+                sender_pos=(start_x, 0.0),
+                receiver_pos=(0.0, 6.0),
+                traffic=WifiTrafficSpec(interval=wifi_interval),
+            ),
+        ),
+        zigbee=(
+            ZigbeeLinkSpec(
+                name="roadside",
+                sender_pos=(mid, 2.0),
+                receiver_pos=(mid + 1.0, 2.4),
+                traffic=BurstTrafficSpec(
+                    n_packets=4, payload_bytes=40, interval_mean=0.3
+                ),
+            ),
+        ),
+        coordinator=CoordinatorSpec(scheme=scheme),
+        mobility=MobilitySpec(
+            kind="trajectory",
+            model="waypoint",
+            waypoints=((start_x, 0.0), (stop_x, 0.0)),
+            speed_mps=speed_mps,
+            tick=tick,
+        ),
+        aps=tuple(
+            ApSpec(name=f"AP{i}", pos=(i * ap_spacing, 6.0))
+            for i in range(1, n_aps)
+        ),
+        roaming=RoamingSpec(
+            policy=policy,
+            hysteresis_db=hysteresis_db,
+            scan_interval=scan_interval,
+            handoff_gap=handoff_gap,
+        ),
+    )
+
+
+#: Campus AP sites: the roaming link's receiver is AP0 at the first site;
+#: further APs fill the remaining corners of the quad walk.
+CAMPUS_AP_SITES = ((0.0, 5.0), (16.0, 5.0), (8.0, -5.0))
+
+
+def campus_roaming(
+    speed_mps: float = 1.5,
+    n_aps: int = 3,
+    scheme: str = "bicord",
+    policy: str = "strongest-rssi",
+    hysteresis_db: float = 3.0,
+    scan_interval: float = 0.25,
+    tick: float = 0.1,
+    duration: float = 12.0,
+    wifi_interval: Optional[float] = None,
+) -> ScenarioSpec:
+    """A pedestrian looping a campus quad covered by two or three APs.
+
+    The walker ``PED`` loops the 16 m x 6 m quad; the AP layout puts each
+    leg decisively closest to a different AP (path-loss margins well above
+    the hysteresis), so every lap produces handoffs and — with a sticky or
+    over-hysteretic policy — measurable ping-pong suppression.
+    """
+    if not 2 <= n_aps <= len(CAMPUS_AP_SITES):
+        raise ValueError(
+            f"n_aps must be in [2, {len(CAMPUS_AP_SITES)}], got {n_aps}"
+        )
+    if speed_mps <= 0:
+        raise ValueError(f"speed_mps must be > 0, got {speed_mps}")
+    return ScenarioSpec(
+        name="campus-roaming",
+        description=(
+            f"Pedestrian at {speed_mps} m/s looping a quad under {n_aps} APs "
+            f"with the {policy!r} policy"
+        ),
+        duration=duration,
+        backend="generic",
+        wifi=(
+            WifiLinkSpec(
+                name="ped",
+                sender="PED",
+                receiver="AP0",
+                sender_pos=(0.0, 0.0),
+                receiver_pos=CAMPUS_AP_SITES[0],
+                traffic=WifiTrafficSpec(interval=wifi_interval),
+            ),
+        ),
+        zigbee=(
+            ZigbeeLinkSpec(
+                name="quad-sensor",
+                sender_pos=(8.0, 3.0),
+                receiver_pos=(9.0, 3.4),
+                traffic=BurstTrafficSpec(
+                    n_packets=3, payload_bytes=30, interval_mean=0.25
+                ),
+            ),
+        ),
+        coordinator=CoordinatorSpec(scheme=scheme),
+        mobility=MobilitySpec(
+            kind="trajectory",
+            model="waypoint",
+            waypoints=((0.0, 0.0), (16.0, 0.0), (16.0, 6.0), (0.0, 6.0)),
+            speed_mps=speed_mps,
+            loop=True,
+            tick=tick,
+        ),
+        aps=tuple(
+            ApSpec(name=f"AP{i}", pos=CAMPUS_AP_SITES[i])
+            for i in range(1, n_aps)
+        ),
+        roaming=RoamingSpec(
+            policy=policy,
+            hysteresis_db=hysteresis_db,
+            scan_interval=scan_interval,
+        ),
+    )
+
+
 register_scenario(
     "office", office, "The paper's Fig. 6 office: one Wi-Fi link, one ZigBee pair"
 )
@@ -361,4 +522,12 @@ register_scenario(
 register_scenario(
     "clustered", generators.clustered,
     "Procedural: ZigBee links grouped into seeded hotspot clusters",
+)
+register_scenario(
+    "vehicular-corridor", vehicular_corridor,
+    "A vehicle driving past a row of roadside APs, roaming as it goes",
+)
+register_scenario(
+    "campus-roaming", campus_roaming,
+    "A pedestrian looping a campus quad covered by two or three APs",
 )

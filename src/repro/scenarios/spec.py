@@ -41,9 +41,21 @@ from ..experiments.runner import SCHEMES
 from ..experiments.topology import LOCATIONS, Calibration
 from ..serialization import stable_hash, to_dict
 
-MOBILITY_KINDS = ("none", "person", "device")
+MOBILITY_KINDS = ("none", "person", "device", "trajectory")
+TRAJECTORY_MODELS = ("waypoint", "random-waypoint")
 WIFI_TRAFFIC_KINDS = ("periodic", "priority", "none")
 BACKENDS = ("generic", "office")
+
+
+def round_position(x: float, y: float) -> Tuple[float, float]:
+    """Canonical coordinate rounding (mm precision) for spec fingerprints.
+
+    Every position that enters a spec — generator placements, trajectory
+    waypoints, AP sites — rounds through this one function, so equivalent
+    TOML float spellings (``1.2000001`` vs ``1.2``) always hash to the same
+    :meth:`ScenarioSpec.fingerprint` and never split the sweep cache.
+    """
+    return (round(float(x), 3), round(float(y), 3))
 
 
 class SpecError(ValueError):
@@ -154,15 +166,88 @@ class CoordinatorSpec:
 
 @dataclass(frozen=True)
 class MobilitySpec:
-    """Sec. VIII-F mobility: a walking person or a wandering device.
+    """Mobility: Sec. VIII-F jitter models plus full trajectory motion.
 
-    ``link`` names the affected link (a Wi-Fi link for ``person``, a
-    ZigBee link for ``device``); ``None`` = the scenario's observer /
-    first ZigBee link respectively.
+    ``kind`` selects the model: ``person`` (CSI perturbation on a Wi-Fi
+    link), ``device`` (a ZigBee sender wandering within 1 m), or
+    ``trajectory`` (the link's *sender* rides a :mod:`repro.mobility`
+    trajectory, re-positioned every ``tick`` seconds).  ``link`` names the
+    affected link; ``None`` = the observer Wi-Fi link (``person``), the
+    first ZigBee link (``device``), or the first Wi-Fi link — falling back
+    to the first ZigBee link — for ``trajectory``.
+
+    Trajectory knobs: ``model="waypoint"`` follows ``waypoints`` at
+    ``speed_mps`` (or one speed per leg via ``leg_speeds``; ``loop`` closes
+    the path), ``model="random-waypoint"`` draws targets inside ``area``
+    (offset by ``origin``) from its own generator seeded with ``rw_seed``,
+    pausing ``pause`` seconds at each.  Waypoint and origin coordinates are
+    rounded through :func:`round_position` at construction, so fingerprints
+    are stable across TOML float spellings.
     """
 
     kind: str = "none"
     link: Optional[str] = None
+    # trajectory-kind knobs
+    model: str = "waypoint"
+    waypoints: Tuple[Tuple[float, float], ...] = ()
+    speed_mps: float = 1.0
+    leg_speeds: Tuple[float, ...] = ()
+    loop: bool = False
+    tick: float = 0.1
+    area: Tuple[float, float] = (30.0, 10.0)
+    origin: Tuple[float, float] = (0.0, 0.0)
+    pause: float = 0.0
+    rw_seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "waypoints",
+            tuple(round_position(x, y) for x, y in self.waypoints),
+        )
+        object.__setattr__(self, "origin", round_position(*self.origin))
+
+
+@dataclass(frozen=True)
+class ApSpec:
+    """One additional access point of the ESS (the roaming AP set).
+
+    The first AP of the ESS is always the roaming link's own receiver;
+    entries here add further APs at fixed sites.  ``None`` channel/power/
+    rate fall back to the calibration, like Wi-Fi links.
+    """
+
+    name: str = "AP"
+    pos: Tuple[float, float] = (0.0, 0.0)
+    channel: Optional[int] = None
+    tx_power_dbm: Optional[float] = None
+    data_rate_mbps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pos", round_position(*self.pos))
+
+
+@dataclass(frozen=True)
+class RoamingSpec:
+    """Client roaming across the ESS: policy, scan cadence, handoff cost.
+
+    ``link`` names the Wi-Fi link whose *sender* is the roaming client
+    (its receiver is the first AP of the ESS); ``None`` = the spec's first
+    Wi-Fi link.  ``policy`` is a registered AP-selection policy
+    (see :data:`repro.mobility.roaming.AP_SELECTION_POLICIES`);
+    ``hysteresis_db`` / ``min_rssi_dbm`` parameterize the shipped
+    policies.  ``handoff_gap`` seconds of MAC self-suppression model the
+    scan/auth/assoc exchange; a return to the previous AP within
+    ``pingpong_window`` seconds counts as a ping-pong.
+    """
+
+    link: Optional[str] = None
+    policy: str = "strongest-rssi"
+    hysteresis_db: float = 4.0
+    min_rssi_dbm: float = -75.0
+    scan_interval: float = 0.25
+    handoff_gap: float = 30e-3
+    pingpong_window: float = 2.0
 
 
 @dataclass(frozen=True)
@@ -185,6 +270,10 @@ class ScenarioSpec:
     zigbee: Tuple[ZigbeeLinkSpec, ...] = (ZigbeeLinkSpec(),)
     coordinator: CoordinatorSpec = field(default_factory=CoordinatorSpec)
     mobility: MobilitySpec = field(default_factory=MobilitySpec)
+    #: Additional APs of the ESS (multi-AP roaming).  Empty = no roaming:
+    #: the compiled scenario is then identical to a pre-roaming one.
+    aps: Tuple[ApSpec, ...] = ()
+    roaming: RoamingSpec = field(default_factory=RoamingSpec)
     calibration: Calibration = field(default_factory=Calibration)
     #: Named fault plan (see ``repro.faults.presets``) or ``dim:rate``.
     fault_plan: Optional[str] = None
@@ -194,6 +283,20 @@ class ScenarioSpec:
         """Name of the Wi-Fi link whose receiver hosts the coordinator."""
         if self.coordinator.on is not None:
             return self.coordinator.on
+        return self.wifi[0].name if self.wifi else None
+
+    def trajectory_link(self) -> Optional[str]:
+        """Name of the link whose sender rides the trajectory (any tech)."""
+        if self.mobility.link is not None:
+            return self.mobility.link
+        if self.wifi:
+            return self.wifi[0].name
+        return self.zigbee[0].name if self.zigbee else None
+
+    def roaming_link(self) -> Optional[str]:
+        """Name of the Wi-Fi link whose sender is the roaming client."""
+        if self.roaming.link is not None:
+            return self.roaming.link
         return self.wifi[0].name if self.wifi else None
 
     def fingerprint(self) -> str:
@@ -312,6 +415,111 @@ class ScenarioSpec:
                     "mobility.link",
                     f"device mobility needs a ZigBee link, got {target!r} "
                     f"(available: {zigbee_names})",
+                )
+        if self.mobility.kind == "trajectory":
+            mobility = self.mobility
+            if mobility.model not in TRAJECTORY_MODELS:
+                raise SpecError(
+                    "mobility.model",
+                    f"unknown trajectory model {mobility.model!r}; "
+                    f"expected one of {TRAJECTORY_MODELS}",
+                )
+            if mobility.tick <= 0:
+                raise SpecError("mobility.tick", f"must be > 0, got {mobility.tick}")
+            if mobility.speed_mps <= 0:
+                raise SpecError(
+                    "mobility.speed_mps", f"must be > 0, got {mobility.speed_mps}"
+                )
+            target = self.trajectory_link()
+            if target is None or (
+                target not in wifi_names and target not in zigbee_names
+            ):
+                raise SpecError(
+                    "mobility.link",
+                    f"trajectory mobility needs an existing link, got {target!r} "
+                    f"(available: {wifi_names + zigbee_names})",
+                )
+            if mobility.model == "waypoint":
+                if len(mobility.waypoints) < 2:
+                    raise SpecError(
+                        "mobility.waypoints",
+                        f"a waypoint trajectory needs >= 2 waypoints, "
+                        f"got {len(mobility.waypoints)}",
+                    )
+                if mobility.leg_speeds:
+                    points = list(mobility.waypoints)
+                    closing = mobility.loop and points[-1] != points[0]
+                    n_legs = len(points) if closing else len(points) - 1
+                    if len(mobility.leg_speeds) != n_legs:
+                        raise SpecError(
+                            "mobility.leg_speeds",
+                            f"need one speed per leg ({n_legs}, loops include "
+                            f"the closing leg), got {len(mobility.leg_speeds)}",
+                        )
+                    if any(s <= 0 for s in mobility.leg_speeds):
+                        raise SpecError(
+                            "mobility.leg_speeds",
+                            f"speeds must be > 0, got {list(mobility.leg_speeds)}",
+                        )
+            else:  # random-waypoint
+                if mobility.area[0] <= 0 or mobility.area[1] <= 0:
+                    raise SpecError(
+                        "mobility.area",
+                        f"area sides must be > 0, got {mobility.area}",
+                    )
+                if mobility.pause < 0:
+                    raise SpecError(
+                        "mobility.pause", f"must be >= 0, got {mobility.pause}"
+                    )
+        if self.aps:
+            if self.backend != "generic":
+                raise SpecError(
+                    "aps", "multi-AP roaming requires the generic backend"
+                )
+            target = self.roaming_link()
+            if target is None or target not in wifi_names:
+                raise SpecError(
+                    "roaming.link",
+                    f"roaming needs a Wi-Fi link whose sender is the client, "
+                    f"got {target!r} (available: {wifi_names})",
+                )
+            for i, ap in enumerate(self.aps):
+                path = f"aps[{i}].name"
+                if not ap.name:
+                    raise SpecError(path, "AP name must be non-empty")
+                if ap.name in device_names:
+                    raise SpecError(
+                        path,
+                        f"device name {ap.name!r} already used at {device_names[ap.name]}",
+                    )
+                device_names[ap.name] = path
+            roaming = self.roaming
+            if roaming.scan_interval <= 0:
+                raise SpecError(
+                    "roaming.scan_interval", f"must be > 0, got {roaming.scan_interval}"
+                )
+            if roaming.handoff_gap < 0:
+                raise SpecError(
+                    "roaming.handoff_gap", f"must be >= 0, got {roaming.handoff_gap}"
+                )
+            if roaming.hysteresis_db < 0:
+                raise SpecError(
+                    "roaming.hysteresis_db", f"must be >= 0, got {roaming.hysteresis_db}"
+                )
+            if roaming.pingpong_window < 0:
+                raise SpecError(
+                    "roaming.pingpong_window",
+                    f"must be >= 0, got {roaming.pingpong_window}",
+                )
+            from ..mobility.roaming import (  # late: keep spec import light
+                AP_SELECTION_POLICIES,
+            )
+
+            if roaming.policy not in AP_SELECTION_POLICIES:
+                raise SpecError(
+                    "roaming.policy",
+                    f"unknown AP-selection policy {roaming.policy!r}; "
+                    f"available: {sorted(AP_SELECTION_POLICIES)}",
                 )
         if self.backend == "office":
             if len(self.wifi) != 1:

@@ -68,6 +68,36 @@ def test_scenario_bitwise_equivalence(scenario, params, fault_plan, seed):
     assert legacy.events_processed > 0  # the comparison actually exercised a run
 
 
+#: A fast-motion roaming corridor: the client crosses an AP boundary well
+#: inside the 0.3 s horizon, so the run exercises trajectory ticks
+#: (batched ``move_many`` churn), roaming scans, and a handoff in both
+#: kernels.
+TRAJECTORY_PARAMS = {
+    "speed_mps": 40.0,
+    "n_aps": 3,
+    "ap_spacing": 6.0,
+    "hysteresis_db": 2.0,
+    "scan_interval": 0.05,
+    "tick": 0.02,
+    "wifi_interval": 4e-3,
+}
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_trajectory_roaming_bitwise_equivalence(seed):
+    legacy = _run_with_kernel(
+        "legacy", "vehicular-corridor", TRAJECTORY_PARAMS, None, seed
+    )
+    vector = _run_with_kernel(
+        "vector", "vehicular-corridor", TRAJECTORY_PARAMS, None, seed
+    )
+    assert vector.trace_digest == legacy.trace_digest
+    assert vector.events_processed == legacy.events_processed
+    assert vector.summary() == legacy.summary()
+    assert vector.extra == legacy.extra
+    assert legacy.extra["roam_handoffs"] >= 1  # motion actually forced a handoff
+
+
 # ----------------------------------------------------------------------
 # Targeted adversarial cases, run through both kernels and diffed on the
 # full trace (every record, every field — floats compare bitwise).
@@ -218,6 +248,8 @@ _OPS = st.lists(
                   st.none(), st.none()),
         st.tuples(st.just("move"), st.integers(min_value=0, max_value=4),
                   st.sampled_from([0.5, 2.0, -1.5]), st.none()),
+        st.tuples(st.just("move_many"), st.integers(min_value=0, max_value=4),
+                  st.sampled_from([0.5, 2.0, -1.5]), st.none()),
         st.tuples(st.just("retune"), st.integers(min_value=0, max_value=4),
                   st.integers(min_value=0, max_value=len(_BANDS) - 1), st.none()),
     ),
@@ -261,6 +293,12 @@ def test_accumulators_match_bruteforce_oracle(ops, seed):
         elif op == "move":
             radios[a].move_to(Position(radios[a].position.x + b,
                                        radios[a].position.y))
+        elif op == "move_many":
+            # Batched churn: one epoch advance for a platoon of movers.
+            medium.move_many(
+                (radio, Position(radio.position.x + b, radio.position.y + 0.3))
+                for radio in radios[a:a + 3]
+            )
         elif op == "retune":
             radios[a].retune(_BANDS[b][1])
         active_ids = list(medium._active)

@@ -26,6 +26,7 @@ from repro.serialization import canonical_dumps
 ALL_EXPERIMENTS = (
     "signaling", "coexistence", "learning", "priority",
     "energy", "cti", "device-id", "ble", "robustness", "scenario",
+    "roaming",
 )
 
 
